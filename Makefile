@@ -1,0 +1,23 @@
+# Convenience targets for the DHB reproduction.
+
+.PHONY: install test bench figures clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.cli figures
+	python -m repro.cli fig7
+	python -m repro.cli fig8
+	python -m repro.cli fig9
+	python -m repro.cli variants
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,119 @@
+"""Ablation benches over DHB's design choices (DESIGN.md §6).
+
+* the slot-selection heuristic (the paper's rule vs always-latest /
+  earliest-fit / random-fit),
+* instance sharing on/off,
+* the "slot 120!" bandwidth-peak demonstration,
+* the segment-count trade-off (waiting time vs bandwidth).
+"""
+
+from repro.analysis.metrics import series_by_name
+from repro.analysis.tables import format_series_table, format_simple_table
+from repro.core.dhb import DHBProtocol
+from repro.experiments.ablations import (
+    heuristic_ablation,
+    peak_demonstration,
+    sharing_ablation,
+)
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import arrivals_for_rate, measure_protocol
+
+ABLATION_CONFIG = SweepConfig(
+    rates_per_hour=(2.0, 20.0, 200.0), base_hours=20.0, min_requests=150
+)
+
+
+def test_heuristic_ablation(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: heuristic_ablation(ABLATION_CONFIG), rounds=1, iterations=1
+    )
+    mean_table = format_series_table(series, value="mean")
+    max_table = format_series_table(series, value="max", precision=0)
+    text = f"Heuristic ablation, mean streams:\n{mean_table}\n\n" \
+           f"Heuristic ablation, max streams:\n{max_table}"
+    (results_dir / "ablation_heuristic.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    indexed = series_by_name(series)
+    paper = indexed["min-load/latest (paper)"]
+    naive = indexed["always-latest (naive)"]
+    earliest = indexed["min-load/earliest"]
+    # The load-blind rule pays a visible peak penalty under load.
+    assert naive.maxima[-1] > paper.maxima[-1]
+    # The "longest delay" tie-break buys average bandwidth at every rate:
+    # earliest-fit shortens sharing horizons and costs more.
+    assert all(p <= e + 0.02 for p, e in zip(paper.means, earliest.means))
+    assert paper.means[0] < earliest.means[0]
+
+
+def test_sharing_ablation(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: sharing_ablation(ABLATION_CONFIG), rounds=1, iterations=1
+    )
+    text = "Sharing ablation, mean streams:\n" + format_series_table(series)
+    (results_dir / "ablation_sharing.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    indexed = series_by_name(series)
+    with_sharing = indexed["DHB (sharing)"]
+    without = indexed["DHB (no sharing)"]
+    for i, rate in enumerate(with_sharing.rates):
+        assert with_sharing.means[i] < without.means[i]
+    # Unshared scheduling costs one full video per request: ~ lambda * D.
+    assert without.means[-1] > 50.0
+
+
+def test_peak_demonstration(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: peak_demonstration(n_segments=60, n_slots=4000),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [label, f"{stats['mean_streams']:.2f}", f"{stats['max_streams']:.0f}"]
+        for label, stats in results.items()
+    ]
+    text = (
+        "Bandwidth-peak demonstration (one request per slot, 60 segments):\n"
+        + format_simple_table(["chooser", "mean", "max"], rows)
+    )
+    (results_dir / "ablation_peak.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    assert results["always-latest"]["max_streams"] >= (
+        results["heuristic"]["max_streams"] + 4
+    )
+
+
+def test_segment_count_tradeoff(benchmark, results_dir):
+    """More segments: shorter waits, more bandwidth — the DHB dial."""
+
+    def sweep_counts():
+        rows = []
+        config = SweepConfig(
+            rates_per_hour=(100.0,), base_hours=20.0, min_requests=150
+        )
+        for n in (25, 50, 99, 200):
+            per_n = config.replace(n_segments=n)
+            point = measure_protocol(
+                DHBProtocol(n_segments=n),
+                per_n,
+                100.0,
+                arrival_times=arrivals_for_rate(per_n, 100.0),
+            )
+            rows.append((n, per_n.slot_duration, point.mean_bandwidth))
+        return rows
+
+    rows = benchmark.pedantic(sweep_counts, rounds=1, iterations=1)
+    table = format_simple_table(
+        ["segments", "max wait s", "mean streams"],
+        [[n, f"{wait:.1f}", f"{mean:.2f}"] for n, wait, mean in rows],
+    )
+    text = "Segment-count trade-off at 100 requests/hour:\n" + table
+    (results_dir / "ablation_segments.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    waits = [wait for _, wait, _ in rows]
+    means = [mean for _, _, mean in rows]
+    assert waits == sorted(waits, reverse=True)
+    assert means == sorted(means)  # bandwidth grows ~ H(n)

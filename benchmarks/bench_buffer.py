@@ -1,0 +1,115 @@
+"""Extension bench: client set-top-box buffer demand.
+
+The whole protocol family rests on Viswanathan & Imielinski's STB "buffer
+space to store between, say, thirty minutes and one hour of video data".
+This bench replays DHB client reception plans and measures how much buffer
+the protocol actually demands across arrival rates — for the CBR Figures 7/8
+configuration and for the Section 4 VBR variants.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_simple_table
+from repro.core.buffer import buffer_profile, worst_case_buffer
+from repro.core.dhb import DHBProtocol
+from repro.core.variants import make_all_variants
+from repro.sim.rng import RandomStreams
+from repro.sim.slotted import SlottedSimulation
+from repro.units import MINUTE, TWO_HOURS
+from repro.video.matrix import matrix_like_video
+from repro.workload.arrivals import PoissonArrivals
+
+N_SEGMENTS = 99
+SLOT = TWO_HOURS / N_SEGMENTS
+
+
+def _dhb_buffer_stats(rate, hours=10.0, seed=3):
+    protocol = DHBProtocol(n_segments=N_SEGMENTS, track_clients=True)
+    slots = int(hours * 3600.0 / SLOT)
+    sim = SlottedSimulation(protocol, SLOT, slots)
+    times = PoissonArrivals(rate).generate(
+        slots * SLOT, RandomStreams(seed).get(f"buf{rate}")
+    )
+    sim.run(times)
+    peaks = [buffer_profile(plan).peak_bytes for plan in protocol.clients]
+    return {
+        "clients": len(peaks),
+        "mean_peak_segments": float(np.mean(peaks)) if peaks else 0.0,
+        "worst_peak_segments": max(peaks) if peaks else 0.0,
+    }
+
+
+def test_buffer_demand_cbr(benchmark, results_dir):
+    stats_by_rate = benchmark.pedantic(
+        lambda: {rate: _dhb_buffer_stats(rate) for rate in (2.0, 20.0, 200.0)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for rate, stats in stats_by_rate.items():
+        rows.append(
+            [
+                f"{rate:g}",
+                stats["clients"],
+                f"{stats['mean_peak_segments']:.1f}",
+                f"{stats['worst_peak_segments']:.0f}",
+                f"{stats['worst_peak_segments'] * SLOT / MINUTE:.0f}",
+            ]
+        )
+    text = (
+        "DHB client buffer demand (99 segments, two-hour video):\n"
+        + format_simple_table(
+            ["req/h", "clients", "mean peak (segs)", "worst (segs)",
+             "worst (min of video)"],
+            rows,
+        )
+    )
+    (results_dir / "buffer_demand.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    for stats in stats_by_rate.values():
+        # Demand stays within the video and within the STB sizing the
+        # literature assumed (an hour of video = half the segments).
+        assert stats["worst_peak_segments"] <= N_SEGMENTS
+        assert stats["worst_peak_segments"] * SLOT <= 75 * MINUTE
+    # Busier systems schedule earlier instances, so clients buffer more.
+    assert (
+        stats_by_rate[200.0]["mean_peak_segments"]
+        >= stats_by_rate[2.0]["mean_peak_segments"]
+    )
+
+
+def test_buffer_demand_vbr_variants(benchmark, results_dir):
+    video = matrix_like_video()
+    variants = make_all_variants(video, 60.0)
+
+    def measure():
+        outcome = {}
+        for name in ("DHB-b", "DHB-d"):
+            variant = variants[name]
+            protocol = variant.build_protocol(track_clients=True)
+            slots = 400
+            sim = SlottedSimulation(protocol, variant.slot_duration, slots)
+            times = PoissonArrivals(100.0).generate(
+                slots * variant.slot_duration, RandomStreams(4).get(name)
+            )
+            sim.run(times)
+            outcome[name] = worst_case_buffer(
+                protocol.clients, variant.segment_bytes
+            )
+        return outcome
+
+    peaks = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["VBR worst-case client buffer (bytes):"]
+    for name, peak in peaks.items():
+        lines.append(f"  {name}: {peak / 2**20:.0f} MiB "
+                     f"({peak / video.total_bytes:.1%} of the video)")
+    text = "\n".join(lines)
+    (results_dir / "buffer_demand_vbr.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    for name, peak in peaks.items():
+        assert 0 < peak < video.total_bytes
+    # DHB-d's relaxed periods deliver data earlier relative to its deadline
+    # shift, so its demand is at least in the same ballpark as DHB-b's.
+    assert peaks["DHB-d"] < video.total_bytes * 0.75

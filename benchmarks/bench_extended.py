@@ -1,0 +1,92 @@
+"""Extended comparison: every protocol in the library over the paper grid.
+
+Beyond the paper's Figure 7 cast, this bench races the whole related-work
+section — DSB, HMSM, selective catching, batching, dynamic NPB, FB, SB —
+against DHB on the same seeded workloads, and checks the qualitative
+positioning Section 2 describes for each of them.
+"""
+
+from repro.analysis.metrics import series_by_name
+from repro.analysis.tables import format_series_table
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import sweep_protocols
+
+EXTENDED_CONFIG = SweepConfig(
+    rates_per_hour=(2.0, 10.0, 50.0, 200.0, 1000.0),
+    base_hours=20.0,
+    min_requests=200,
+)
+
+CAST = [
+    ("dhb", "DHB"),
+    ("ud", "UD"),
+    ("dnpb", "dyn-NPB"),
+    ("dsb", "dyn-SB"),
+    ("npb", "NPB"),
+    ("fb", "FB"),
+    ("sb", "SB"),
+    ("stream-tapping", "tapping"),
+    ("patching", "patching"),
+    ("hmsm", "HMSM"),
+    ("catching", "catching"),
+    ("batching", "batching"),
+]
+
+
+def test_extended_comparison(benchmark, results_dir):
+    series = benchmark.pedantic(
+        lambda: sweep_protocols(
+            [name for name, _ in CAST],
+            EXTENDED_CONFIG,
+            labels=[label for _, label in CAST],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        "Extended comparison, mean streams (all protocols, 99 segments / "
+        "two-hour video):\n" + format_series_table(series, value="mean")
+    )
+    (results_dir / "extended_comparison.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    indexed = series_by_name(series)
+    at_top = {label: indexed[label].means[-1] for _, label in CAST}
+
+    # Fixed protocols pay their allocation; SB > FB > NPB for one deadline.
+    assert at_top["SB"] > at_top["FB"] > at_top["NPB"]
+
+    # DHB undercuts every rival at the top of the sweep — with one
+    # documented exception: our occurrence-level dynamic NPB reconstruction
+    # saturates marginally below DHB (it inherits NPB's deadline-hugging
+    # periods while DHB's heuristic occasionally schedules ahead of the
+    # latest slot).  See the dnpb module docstring and EXPERIMENTS.md; DHB
+    # still beats it clearly at low rates, where flexibility matters.
+    for label in at_top:
+        if label not in ("DHB", "dyn-NPB"):
+            assert at_top["DHB"] <= at_top[label] + 1e-9, label
+    assert at_top["dyn-NPB"] > 0.95 * at_top["DHB"]
+    low = {label: indexed[label].means[0] for _, label in CAST}
+    assert low["DHB"] < low["dyn-NPB"]
+
+    # DSB saturates at SB's allocation, above UD — Section 2's claim.
+    assert abs(at_top["dyn-SB"] - at_top["SB"]) < 0.05
+    assert at_top["dyn-SB"] > at_top["UD"]
+
+    # HMSM is the best zero-delay protocol, far below tapping/patching at
+    # high rates but above the slotted protocols (it pays for zero delay).
+    assert at_top["HMSM"] < at_top["tapping"]
+    assert at_top["HMSM"] < at_top["patching"]
+    assert at_top["HMSM"] < at_top["catching"]
+    assert at_top["HMSM"] > at_top["DHB"]
+
+    # Tapping and patching ride the same curve (Figure 7 plots them as one).
+    tapping = indexed["tapping"].means
+    patching = indexed["patching"].means
+    for t, p in zip(tapping, patching):
+        assert t <= p * 1.10
+
+    # Batching with its default 5-minute window is cheap but pays in delay
+    # — cross-check the waiting-time ledger.
+    assert indexed["batching"].points[-1].mean_wait > 60.0
+    assert indexed["DHB"].points[-1].mean_wait < 40.0

@@ -1,0 +1,54 @@
+"""Benchmark + regeneration of Figure 7: average bandwidth vs arrival rate.
+
+Running ``pytest benchmarks/bench_fig7.py --benchmark-only`` re-simulates
+the paper's four protocols (stream tapping, UD, DHB, NPB; 99 segments,
+two-hour video) over the full 1-1000 requests/hour grid, writes the series
+table to ``benchmarks/results/fig7.txt``, and asserts the published shape.
+"""
+
+from repro.analysis.metrics import series_by_name
+from repro.analysis.theory import dhb_saturation_bandwidth
+from repro.experiments.fig7 import report_fig7, run_fig7
+
+
+def test_fig7_average_bandwidth(benchmark, bench_config, results_dir):
+    series = benchmark.pedantic(
+        lambda: run_fig7(bench_config), rounds=1, iterations=1
+    )
+    text = report_fig7(series)
+    (results_dir / "fig7.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    indexed = series_by_name(series)
+    tapping = indexed["Stream Tapping/Patching"]
+    ud = indexed["UD Protocol"]
+    dhb = indexed["DHB Protocol"]
+    npb = indexed["New Pagoda Broadcasting"]
+
+    # NPB is flat at its stream count (6 for 99 segments).
+    assert all(m == 6.0 for m in npb.means)
+
+    # DHB needs less average bandwidth than every rival at every swept rate
+    # of at least 2/hour (the paper's headline claim).
+    for i, rate in enumerate(dhb.rates):
+        if rate < 2.0:
+            continue
+        assert dhb.means[i] < tapping.means[i], f"tapping beat DHB at {rate}/h"
+        assert dhb.means[i] < ud.means[i], f"UD beat DHB at {rate}/h"
+        assert dhb.means[i] < npb.means[i], f"NPB beat DHB at {rate}/h"
+
+    # Stream tapping stays close to DHB at 1/hour, then diverges:
+    assert tapping.means[0] < 1.6 * dhb.means[0]
+    assert tapping.means[-1] > 4 * dhb.means[-1]
+
+    # DHB plateaus just above the harmonic number, strictly below NPB.
+    plateau = dhb.means[-1]
+    assert dhb_saturation_bandwidth(99) <= plateau < 6.0
+
+    # UD is reactive-competitive at low rates and saturates at FB's 7.
+    assert ud.means[0] < 3.0
+    assert abs(ud.means[-1] - 7.0) < 0.05
+
+    # Curves are monotone non-decreasing in the rate (dynamic protocols).
+    for curve in (dhb, ud):
+        assert all(a <= b + 0.05 for a, b in zip(curve.means, curve.means[1:]))

@@ -1,0 +1,41 @@
+"""Benchmark + regeneration of Figure 8: maximum bandwidth vs arrival rate.
+
+Asserts the paper's claims: NPB has the smallest maximum bandwidth, DHB the
+highest, and "the difference between these two protocols never exceeds twice
+the video consumption rate".
+"""
+
+from repro.analysis.metrics import series_by_name
+from repro.experiments.fig8 import report_fig8, run_fig8
+
+NPB_STREAMS = 6.0  # pagoda allocation for 99 segments
+
+
+def test_fig8_maximum_bandwidth(benchmark, bench_config, results_dir):
+    series = benchmark.pedantic(
+        lambda: run_fig8(bench_config), rounds=1, iterations=1
+    )
+    text = report_fig8(series)
+    (results_dir / "fig8.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    indexed = series_by_name(series)
+    ud = indexed["UD Protocol"]
+    dhb = indexed["DHB Protocol"]
+    npb = indexed["New Pagoda Broadcasting"]
+
+    # NPB's max equals its constant allocation everywhere.
+    assert all(m == NPB_STREAMS for m in npb.maxima)
+
+    # DHB's peak never exceeds NPB's by more than two streams — at any rate.
+    for dhb_max in dhb.maxima:
+        assert dhb_max - NPB_STREAMS <= 2.0
+
+    # Loaded regime ordering: NPB <= UD <= DHB.
+    for i, rate in enumerate(dhb.rates):
+        if rate < 50.0:
+            continue
+        assert npb.maxima[i] <= ud.maxima[i] <= dhb.maxima[i]
+
+    # UD's peak saturates at FB's seven streams.
+    assert ud.maxima[-1] == 7.0

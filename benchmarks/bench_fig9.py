@@ -1,0 +1,77 @@
+"""Benchmark + regeneration of Figure 9: compressed video, UD vs DHB-a..d.
+
+Runs the Section 4 pipeline on the Matrix-calibrated synthetic trace:
+derives all four DHB configurations, simulates them with UD over the full
+rate grid, writes the MB/s series table, and asserts the paper's ordering
+and its per-step narrative.
+"""
+
+import pytest
+
+from repro.core.variants import make_all_variants
+from repro.experiments.fig9 import FIG9_MAX_WAIT, report_fig9, run_fig9
+from repro.units import KILOBYTE
+from repro.video.matrix import matrix_like_video
+
+
+def test_fig9_compressed_video(benchmark, bench_config, results_dir):
+    series = benchmark.pedantic(
+        lambda: run_fig9(bench_config), rounds=1, iterations=1
+    )
+    text = report_fig9(series)
+    (results_dir / "fig9.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    by_name = {s.protocol: s for s in series}
+    order = ["UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d"]
+
+    # The paper's ordering UD > DHB-a > DHB-b > DHB-c > DHB-d holds at every
+    # swept rate.
+    for i, rate in enumerate(by_name["UD"].rates):
+        values = [by_name[name].means[i] for name in order]
+        assert values == sorted(values, reverse=True), f"ordering broken at {rate}/h"
+
+    # "Switching to a deterministic waiting time has the most impact": the
+    # a->b saving is the largest single step at the top of the sweep.
+    highs = {name: by_name[name].means[-1] for name in order}
+    steps = {
+        "a->b": highs["DHB-a"] - highs["DHB-b"],
+        "b->c": highs["DHB-b"] - highs["DHB-c"],
+        "c->d": highs["DHB-c"] - highs["DHB-d"],
+    }
+    assert steps["a->b"] == max(steps.values())
+    # Frequency relaxation (DHB-d) buys a real, further saving.
+    assert steps["c->d"] > 0.02 * highs["DHB-c"]
+
+
+def test_fig9_derivation_matches_section4(benchmark, results_dir):
+    """The static derivation table (segments / stream rates / periods)."""
+    video = matrix_like_video()
+    variants = benchmark(lambda: make_all_variants(video, FIG9_MAX_WAIT))
+
+    a, b, c, d = (variants[k] for k in ("DHB-a", "DHB-b", "DHB-c", "DHB-d"))
+    # Paper: 137 segments at the 951 KB/s peak.
+    assert a.n_segments == 137
+    assert a.stream_rate / KILOBYTE == pytest.approx(951.0)
+    # Paper: DHB-b streams at 789 KB/s (max per-segment mean); ours is
+    # trace-specific but must sit strictly between mean and peak.
+    assert 636.0 < b.stream_rate / KILOBYTE < 951.0
+    # Paper: DHB-c packs into 129 segments at 671 KB/s; ours lands close.
+    assert 125 <= c.n_segments < 137
+    assert c.stream_rate < b.stream_rate
+    # Paper: DHB-d relaxes most periods by one to eight slots.
+    gains = [d.periods[j] - j for j in range(1, d.n_segments + 1)]
+    assert max(gains) >= 2
+    assert sum(1 for g in gains if g > 0) >= d.n_segments // 4
+
+    lines = [
+        "Section 4 derivation (paper -> measured):",
+        f"  DHB-a segments: 137 -> {a.n_segments}",
+        f"  DHB-a stream KB/s: 951 -> {a.stream_rate / KILOBYTE:.0f}",
+        f"  DHB-b stream KB/s: 789 -> {b.stream_rate / KILOBYTE:.0f}",
+        f"  DHB-c segments: 129 -> {c.n_segments}",
+        f"  DHB-c stream KB/s: 671 -> {c.stream_rate / KILOBYTE:.0f}",
+        f"  DHB-d max period gain: 'one to eight slots' -> up to {max(gains)}",
+    ]
+    (results_dir / "section4_derivation.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the hot paths.
+
+Section 3 discusses DHB's scheduling cost: "each incoming request will
+result in the separate scheduling of 99 possible new segment instances.
+Fortunately ... the actual complexity of the task will be greatly reduced at
+high arrival rates because most of the segment instances required by a
+particular request would have been already scheduled."  These benches
+measure exactly that, plus the other constructive hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dhb import DHBProtocol
+from repro.protocols.npb import pagoda_map
+from repro.protocols.stream_tapping import StreamTappingProtocol
+from repro.smoothing.packing import pack_video
+from repro.video.matrix import matrix_like_video
+from repro.workload.arrivals import PoissonArrivals
+
+
+def test_dhb_request_handling_cold(benchmark):
+    """Request admission into a lightly loaded 99-segment schedule."""
+
+    def admit_batch():
+        protocol = DHBProtocol(n_segments=99)
+        for slot in range(0, 2000, 40):  # sparse: little sharing
+            protocol.handle_request(slot)
+        return protocol.schedule.total_instances
+
+    instances = benchmark(admit_batch)
+    assert instances > 0
+
+
+def test_dhb_request_handling_saturated(benchmark):
+    """The paper's point: saturated requests mostly hit the sharing check."""
+
+    def admit_batch():
+        protocol = DHBProtocol(n_segments=99)
+        for slot in range(2000):  # one request per slot
+            protocol.handle_request(slot)
+        return protocol.schedule.total_instances
+
+    instances = benchmark(admit_batch)
+    # Nearly every segment is shared: far fewer instances than 2000 * 99.
+    assert instances < 2000 * 12
+
+
+def test_pagoda_packing(benchmark):
+    """Constructing the six-stream NPB map (the Figures 7/8 substrate)."""
+    result = benchmark(lambda: pagoda_map(6, n_segments=99))
+    assert result.n_segments == 99
+
+
+def test_matrix_trace_generation(benchmark):
+    """Synthesising + calibrating the 8170-second VBR trace."""
+    video = benchmark.pedantic(matrix_like_video, rounds=1, iterations=1)
+    assert video.duration == 8170.0
+
+
+def test_workahead_packing(benchmark):
+    """The DHB-c/d smoothing computation over the full trace."""
+    video = matrix_like_video()
+    packed = benchmark(lambda: pack_video(video, 60.0))
+    assert packed.n_segments > 100
+
+
+def test_stream_tapping_request_handling(benchmark):
+    """Interval arithmetic under a busy tapping group."""
+    times = PoissonArrivals(500.0).generate(
+        4 * 3600.0, np.random.default_rng(0)
+    )
+
+    def serve_all():
+        protocol = StreamTappingProtocol(7200.0, expected_rate_per_hour=500.0)
+        total = 0.0
+        for t in times:
+            for start, end in protocol.handle_request(float(t)):
+                total += end - start
+        return total
+
+    busy = benchmark.pedantic(serve_all, rounds=1, iterations=1)
+    assert busy > 0
+
+
+def test_poisson_generation(benchmark):
+    """Workload generation throughput (vectorised)."""
+    rng = np.random.default_rng(1)
+    result = benchmark(lambda: PoissonArrivals(1000.0).generate(100 * 3600.0, rng))
+    assert len(result) > 50_000

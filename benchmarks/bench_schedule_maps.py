@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of Figures 1-5: the deterministic schedules.
+
+These figures are exact, so the bench both times their construction and
+asserts the renderings verbatim against the paper.
+"""
+
+from repro.experiments.fig1to5 import render_all_figures, render_figure
+
+FIGURE_2_ROWS = [
+    "Stream 1  S1 S1 S1 S1 S1 S1",
+    "Stream 2  S2 S4 S2 S5 S2 S4",
+    "Stream 3  S3 S6 S8 S3 S7 S9",
+]
+
+
+def test_figures_1_to_5(benchmark, results_dir):
+    text = benchmark(render_all_figures)
+    (results_dir / "figures_1_to_5.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    assert render_figure(2).splitlines()[1:] == FIGURE_2_ROWS
+    assert "S4 S5 S6 S7" in render_figure(1)     # FB stream 3
+    assert "S4 S5 S4 S5" in render_figure(3)     # SB stream 3
+    fig4 = render_figure(4).splitlines()
+    assert fig4[-1].split() == ["1st", "Stream", "S1", "S2", "S3", "S4", "S5", "S6"]
+    fig5 = render_figure(5).splitlines()
+    assert fig5[-1].split() == ["2nd", "Stream", "S1", "S2"]

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every figure bench renders its series table into ``benchmarks/results/`` so
+a bench run leaves the regenerated "figures" on disk, diffable against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+
+#: Paper-scale sweep: the full 1-1000 requests/hour grid.  Horizons are a
+#: little shorter than the unit-test integration ones because every bench
+#: covers ten rates; orderings are stable well before this scale.
+BENCH_CONFIG = SweepConfig(base_hours=30.0, min_requests=300)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    path = pathlib.Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SweepConfig:
+    return BENCH_CONFIG

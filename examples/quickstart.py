@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: simulate DHB on the paper's canonical workload.
+
+Distributes a two-hour video cut into 99 segments (maximum waiting time
+~73 s) under Poisson requests, and prints the average/peak server bandwidth
+next to the analytic anchors: the harmonic saturation plateau H(99) and the
+fixed costs of NPB and FB.
+
+Run:  python examples/quickstart.py [requests_per_hour]
+"""
+
+import sys
+
+from repro import (
+    DHBProtocol,
+    PoissonArrivals,
+    RandomStreams,
+    SlottedSimulation,
+)
+from repro.analysis.theory import dhb_saturation_bandwidth, fb_bandwidth
+from repro.protocols.npb import pagoda_streams_for_segments
+from repro.units import TWO_HOURS
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 100.0
+    n_segments = 99
+    slot = TWO_HOURS / n_segments
+
+    protocol = DHBProtocol(n_segments=n_segments)
+    horizon_slots = 5_000
+    simulation = SlottedSimulation(
+        protocol,
+        slot_duration=slot,
+        horizon_slots=horizon_slots,
+        warmup_slots=horizon_slots // 10,
+    )
+    arrivals = PoissonArrivals(rate_per_hour=rate)
+    times = arrivals.generate(
+        horizon_slots * slot, RandomStreams(seed=42).get("arrivals")
+    )
+    result = simulation.run(times)
+
+    print(f"DHB, two-hour video, {n_segments} segments, {rate:g} requests/hour")
+    print(f"  maximum waiting time  : {slot:6.1f} s (one slot)")
+    print(f"  measured mean wait    : {result.mean_wait:6.1f} s")
+    print(f"  requests served       : {result.n_requests}")
+    print(f"  average bandwidth     : {result.mean_streams:6.2f} streams")
+    print(f"  peak bandwidth        : {result.max_streams:6.0f} streams")
+    print("reference points:")
+    print(f"  DHB saturation H(99)  : {dhb_saturation_bandwidth(n_segments):6.2f} streams")
+    print(f"  NPB fixed cost        : {pagoda_streams_for_segments(n_segments):6d} streams")
+    print(f"  FB  fixed cost        : {fb_bandwidth(n_segments):6d} streams")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Cross-protocol comparison helpers.
+
+The paper's headline claims are *orderings* ("the new DHB protocol requires
+less average bandwidth than its four rivals do for all request arrival rates
+above two requests per hour"), so the harness needs tooling that checks who
+wins where and locates crossover rates.  EXPERIMENTS.md is generated from
+these comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .metrics import ProtocolSeries, series_by_name
+
+
+@dataclass(frozen=True)
+class SweepComparison:
+    """Pairwise verdicts over one rate sweep.
+
+    Attributes
+    ----------
+    rates:
+        The swept rates.
+    winners:
+        ``winners[i]`` is the protocol with the smallest mean bandwidth at
+        ``rates[i]``.
+    """
+
+    rates: List[float]
+    winners: List[str]
+
+    def winner_above(self, rate_threshold: float) -> Optional[str]:
+        """The unique winner at every rate >= threshold, or None if contested."""
+        names = {
+            winner
+            for rate, winner in zip(self.rates, self.winners)
+            if rate >= rate_threshold
+        }
+        return names.pop() if len(names) == 1 else None
+
+
+def compare_series(series: List[ProtocolSeries]) -> SweepComparison:
+    """Determine the per-rate winner by mean bandwidth.
+
+    >>> from .metrics import BandwidthPoint
+    >>> a = ProtocolSeries("A", [BandwidthPoint(1.0, 2.0, 2.0)])
+    >>> b = ProtocolSeries("B", [BandwidthPoint(1.0, 3.0, 3.0)])
+    >>> compare_series([a, b]).winners
+    ['A']
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    rates = series[0].rates
+    for entry in series[1:]:
+        if entry.rates != rates:
+            raise ConfigurationError("series were swept over different rates")
+    winners: List[str] = []
+    for index in range(len(rates)):
+        best = min(series, key=lambda entry: entry.points[index].mean_bandwidth)
+        winners.append(best.protocol)
+    return SweepComparison(rates=rates, winners=winners)
+
+
+def dominance(
+    series: List[ProtocolSeries], subject: str
+) -> Dict[str, List[float]]:
+    """Rates at which ``subject`` beats (<=) each rival on mean bandwidth.
+
+    Returns a map rival → list of rates where the subject's mean bandwidth
+    does not exceed the rival's.
+    """
+    indexed = series_by_name(series)
+    if subject not in indexed:
+        raise ConfigurationError(f"unknown subject series {subject!r}")
+    ours = indexed[subject]
+    result: Dict[str, List[float]] = {}
+    for name, rival in indexed.items():
+        if name == subject:
+            continue
+        wins = [
+            rate
+            for rate, mine, theirs in zip(ours.rates, ours.means, rival.means)
+            if mine <= theirs
+        ]
+        result[name] = wins
+    return result
+
+
+def crossover_rate(
+    series_a: ProtocolSeries, series_b: ProtocolSeries
+) -> Optional[Tuple[float, float]]:
+    """The sweep interval in which A stops beating B (or vice versa).
+
+    Returns the pair of adjacent swept rates between which the sign of
+    ``mean(A) - mean(B)`` flips, or ``None`` when one protocol dominates the
+    whole sweep.  Figures 7's "stream tapping ... is outperformed ... above
+    the same two requests per hour" is a crossover statement of this kind.
+    """
+    if series_a.rates != series_b.rates:
+        raise ConfigurationError("series were swept over different rates")
+    diffs = [a - b for a, b in zip(series_a.means, series_b.means)]
+    for index in range(1, len(diffs)):
+        if diffs[index - 1] == 0 or diffs[index] == 0:
+            continue
+        if (diffs[index - 1] < 0) != (diffs[index] < 0):
+            return (series_a.rates[index - 1], series_a.rates[index])
+    return None

@@ -1,0 +1,87 @@
+"""Plain-text rendering of result series.
+
+The reproduction reports every figure as a printed table of series — the
+same rows the paper plots — so runs are diffable and greppable without any
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .metrics import ProtocolSeries
+
+
+def format_simple_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_simple_table(["a", "b"], [[1, 2.5], [30, 4]]))
+    a   b
+    --  ---
+    1   2.5
+    30  4
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells[0])).rstrip()]
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: List[ProtocolSeries],
+    value: str = "mean",
+    rate_header: str = "req/hour",
+    precision: int = 3,
+    unit_scale: float = 1.0,
+) -> str:
+    """Render a figure's series as one table: rates × protocols.
+
+    Parameters
+    ----------
+    series:
+        One column per protocol.
+    value:
+        "mean" or "max" — which bandwidth statistic to print.
+    rate_header:
+        Label of the rate column.
+    precision:
+        Decimal places for the bandwidth cells.
+    unit_scale:
+        Divide every bandwidth by this (e.g. bytes → MB/s for Figure 9).
+    """
+    if value not in ("mean", "max"):
+        raise ConfigurationError(f"value must be 'mean' or 'max', got {value!r}")
+    if not series:
+        raise ConfigurationError("need at least one series")
+    rates = series[0].rates
+    for entry in series[1:]:
+        if entry.rates != rates:
+            raise ConfigurationError(
+                f"series {entry.protocol!r} was swept over different rates"
+            )
+    headers = [rate_header] + [entry.protocol for entry in series]
+    rows = []
+    for index, rate in enumerate(rates):
+        row: List[object] = [f"{rate:g}"]
+        for entry in series:
+            point = entry.points[index]
+            raw = point.mean_bandwidth if value == "mean" else point.max_bandwidth
+            row.append(f"{raw / unit_scale:.{precision}f}")
+        rows.append(row)
+    return format_simple_table(headers, rows)

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: Dynamic Heuristic Broadcasting (DHB).
+
+Modules
+-------
+* :mod:`repro.core.schedule` — the slotted transmission schedule (per-slot
+  segment instances, per-segment next-transmission index, bandwidth loads).
+* :mod:`repro.core.heuristic` — the slot-selection heuristic of the paper's
+  Figure 6 (least-loaded slot in the window, ties to the latest slot) and the
+  ablation alternatives.
+* :mod:`repro.core.periods` — per-segment maximum transmission periods
+  ``T[j]`` (uniform ``T[j] = j`` for CBR; custom vectors for VBR).
+* :mod:`repro.core.client` — client reception plans and on-time verification.
+* :mod:`repro.core.dhb` — the protocol itself.
+* :mod:`repro.core.variants` — the DHB-a/b/c/d configurations of Section 4.
+* :mod:`repro.core.bandwidth_limited` — extension: DHB with a cap on the
+  number of streams a client may receive simultaneously (the paper's
+  future-work item).
+"""
+
+from .bandwidth_limited import BandwidthLimitedDHB
+from .buffer import BufferProfile, buffer_profile, worst_case_buffer
+from .client import ClientPlan
+from .dhb import DHBProtocol
+from .interactive import InteractiveDHB
+from .heuristic import (
+    SlotChooser,
+    always_latest_chooser,
+    earliest_min_load_chooser,
+    latest_min_load_chooser,
+    make_random_chooser,
+    make_slack_chooser,
+    random_chooser,
+)
+from .periods import PeriodVector
+from .schedule import SlotSchedule
+from .variants import DHBVariant, dhb_a, dhb_b, dhb_c, dhb_d, make_all_variants
+
+__all__ = [
+    "BandwidthLimitedDHB",
+    "BufferProfile",
+    "ClientPlan",
+    "DHBProtocol",
+    "DHBVariant",
+    "InteractiveDHB",
+    "PeriodVector",
+    "SlotChooser",
+    "SlotSchedule",
+    "always_latest_chooser",
+    "buffer_profile",
+    "dhb_a",
+    "dhb_b",
+    "dhb_c",
+    "dhb_d",
+    "earliest_min_load_chooser",
+    "latest_min_load_chooser",
+    "make_all_variants",
+    "make_random_chooser",
+    "make_slack_chooser",
+    "random_chooser",
+    "worst_case_buffer",
+]

@@ -1,0 +1,165 @@
+"""Interactive (VCR) extension: pause/resume under DHB.
+
+The DHB paper's companion work (Pâris's interactive broadcasting protocols)
+extends broadcasting to VCR actions.  The natural DHB formulation: a viewer
+who paused during segment ``j0`` and later resumes is simply a *mid-video
+request* — it needs segments ``j0 .. n`` with playout deadlines counted from
+its resume slot, so segment ``S_j`` must be received within
+``j - j0 + 1`` slots (the uniform case; with custom periods,
+``T[j] - T[j0] + 1``, floored at 1).
+
+The twist for scheduling: resumed clients carry *tighter* windows for the
+same segments than fresh clients do, so the single-future-instance invariant
+of plain DHB no longer holds (a fresh client's instance of ``S_j`` may sit
+beyond a resumed client's window, forcing a second future instance).  Like
+the receive-cap extension, this scheduler therefore keeps a sorted list of
+future instances per segment and shares the *latest one inside the window*.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import List, Optional, Union
+
+from ..errors import ConfigurationError, SchedulingError
+from ..sim.slotted import SlottedModel
+from .client import ClientPlan
+from .heuristic import SlotChooser, latest_min_load_chooser
+from .periods import PeriodVector
+from .schedule import SlotSchedule
+
+
+class InteractiveDHB(SlottedModel):
+    """DHB with mid-video (resume) requests.
+
+    Parameters
+    ----------
+    n_segments:
+        Segment count (uniform periods), or pass ``periods``.
+    periods:
+        Optional custom maximum-period vector for the *fresh-request* case.
+    chooser:
+        Slot-selection heuristic.
+    track_clients:
+        Keep per-client :class:`~repro.core.client.ClientPlan` objects.
+
+    Examples
+    --------
+    >>> protocol = InteractiveDHB(n_segments=6, track_clients=True)
+    >>> fresh = protocol.handle_request(slot=0)
+    >>> resumed = protocol.handle_request(slot=0, start_segment=4)
+    >>> sorted(resumed.assignments)
+    [4, 5, 6]
+    >>> resumed.assignments[4]   # needed by the resumer's first slot
+    1
+    """
+
+    def __init__(
+        self,
+        n_segments: Optional[int] = None,
+        periods: Union[PeriodVector, List[int], None] = None,
+        chooser: SlotChooser = latest_min_load_chooser,
+        track_clients: bool = False,
+    ):
+        if periods is None:
+            if n_segments is None:
+                raise ConfigurationError("give n_segments or an explicit periods vector")
+            periods = PeriodVector.uniform(n_segments)
+        elif not isinstance(periods, PeriodVector):
+            periods = PeriodVector(periods)
+        self.periods = periods
+        self.chooser = chooser
+        self.schedule = SlotSchedule(periods.n_segments)
+        self._future: List[List[int]] = [[] for _ in range(periods.n_segments)]
+        self.track_clients = track_clients
+        self.clients: List[ClientPlan] = []
+        self.requests_admitted = 0
+        self.resumes_admitted = 0
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments ``n``."""
+        return self.periods.n_segments
+
+    def window_length(self, segment: int, start_segment: int) -> int:
+        """Slots by which ``S_segment`` may trail a request starting at
+        ``start_segment`` (>= 1 by construction)."""
+        if segment < start_segment:
+            raise SchedulingError(
+                f"segment {segment} precedes the start segment {start_segment}"
+            )
+        length = self.periods[segment] - self.periods[start_segment] + 1
+        return max(length, 1)
+
+    def _prune_past(self, segment: int, slot: int) -> None:
+        instances = self._future[segment - 1]
+        cut = bisect_right(instances, slot)
+        if cut:
+            del instances[:cut]
+
+    def _shareable_slot(
+        self, segment: int, window_start: int, window_end: int
+    ) -> Optional[int]:
+        instances = self._future[segment - 1]
+        lo = bisect_left(instances, window_start)
+        hi = bisect_right(instances, window_end)
+        return instances[hi - 1] if hi > lo else None
+
+    def handle_request(
+        self, slot: int, start_segment: int = 1
+    ) -> Optional[ClientPlan]:
+        """Admit a fresh (``start_segment=1``) or resumed request.
+
+        Resumed clients watch segment ``start_segment`` during slot
+        ``slot + 1`` and everything after on the usual cadence.
+        """
+        if not 1 <= start_segment <= self.n_segments:
+            raise ConfigurationError(
+                f"start_segment {start_segment} outside 1..{self.n_segments}"
+            )
+        plan = ClientPlan(arrival_slot=slot) if self.track_clients else None
+        for segment in range(start_segment, self.n_segments + 1):
+            self._prune_past(segment, slot)
+            window_start = slot + 1
+            window_end = slot + self.window_length(segment, start_segment)
+            shared = self._shareable_slot(segment, window_start, window_end)
+            if shared is not None:
+                if plan is not None:
+                    plan.assign(segment, shared, shared=True)
+                continue
+            chosen = self.chooser(self.schedule.load, window_start, window_end)
+            self.schedule.add(chosen, segment)
+            insort(self._future[segment - 1], chosen)
+            if plan is not None:
+                plan.assign(segment, chosen, shared=False)
+        self.requests_admitted += 1
+        if start_segment > 1:
+            self.resumes_admitted += 1
+        if plan is not None:
+            self.clients.append(plan)
+        return plan
+
+    def verify_resumed_plan(self, plan: ClientPlan, start_segment: int) -> None:
+        """Deadline check for a (possibly resumed) plan.
+
+        Segment ``S_j`` must land within
+        ``[arrival+1, arrival + window_length(j, start_segment)]``.
+        """
+        expected = set(range(start_segment, self.n_segments + 1))
+        if set(plan.assignments) != expected:
+            raise SchedulingError("plan does not cover the resumed suffix")
+        for segment, assigned in plan.assignments.items():
+            deadline = plan.arrival_slot + self.window_length(segment, start_segment)
+            if not plan.arrival_slot < assigned <= deadline:
+                raise SchedulingError(
+                    f"S{segment} at slot {assigned} outside "
+                    f"({plan.arrival_slot}, {deadline}]"
+                )
+
+    def slot_load(self, slot: int) -> int:
+        """Segment instances transmitted during ``slot``."""
+        return self.schedule.load(slot)
+
+    def release_before(self, slot: int) -> None:
+        """Garbage-collect schedule bookkeeping for slots ``< slot``."""
+        self.schedule.release_before(slot)

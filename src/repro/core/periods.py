@@ -1,0 +1,108 @@
+"""Per-segment maximum transmission periods.
+
+Section 4 of the paper generalises DHB from the uniform rule "segment
+``S_j`` must be scheduled within ``j`` slots" to an arbitrary vector
+``T`` with ``T[1] = 1`` and ``T[j] >= 1``: "whenever a request arriving
+during slot *i* will require a new transmission of segment *S_j*, the
+protocol will now search slots *i+1* to *i+T[j]*".
+
+:class:`PeriodVector` validates and carries such a vector.  The uniform case
+is :meth:`PeriodVector.uniform`; VBR vectors come from
+:func:`repro.smoothing.deadlines.maximum_periods`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+class PeriodVector:
+    """Validated vector of maximum periods ``T[1..n]`` (1-based access).
+
+    Parameters
+    ----------
+    periods:
+        ``periods[j-1]`` is ``T[j]`` in slots.  Every entry must be a
+        positive integer and ``T[1]`` must be 1 (the first segment feeds
+        playout immediately after the one-slot startup wait, so it can never
+        be delayed).
+
+    Examples
+    --------
+    >>> t = PeriodVector.uniform(4)
+    >>> list(t)
+    [1, 2, 3, 4]
+    >>> t[3]
+    3
+    """
+
+    def __init__(self, periods: Sequence[int]):
+        if len(periods) == 0:
+            raise ConfigurationError("period vector must be non-empty")
+        if any(int(p) != p for p in periods):
+            raise ConfigurationError("periods must be integers")
+        values = [int(p) for p in periods]
+        if values[0] != 1:
+            raise ConfigurationError(f"T[1] must be 1, got {values[0]}")
+        if any(p < 1 for p in values):
+            raise ConfigurationError("every period must be >= 1")
+        self._values = values
+
+    @classmethod
+    def uniform(cls, n_segments: int) -> "PeriodVector":
+        """The base DHB periods ``T[j] = j``."""
+        if n_segments < 1:
+            raise ConfigurationError(f"need >= 1 segment, got {n_segments}")
+        return cls(list(range(1, n_segments + 1)))
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments the vector covers."""
+        return len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, segment: int) -> int:
+        """1-based access: ``T[j]`` for segment ``S_j``."""
+        if not 1 <= segment <= len(self._values):
+            raise ConfigurationError(
+                f"segment {segment} outside 1..{len(self._values)}"
+            )
+        return self._values[segment - 1]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PeriodVector):
+            return self._values == other._values
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if len(self._values) > 8:
+            head = ", ".join(str(v) for v in self._values[:8])
+            return f"PeriodVector([{head}, ... n={len(self._values)}])"
+        return f"PeriodVector({self._values})"
+
+    def as_list(self) -> List[int]:
+        """Copy of the raw period values (0-based list)."""
+        return list(self._values)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether this is the base CBR vector ``T[j] = j``."""
+        return self._values == list(range(1, len(self._values) + 1))
+
+    @property
+    def saturation_bandwidth(self) -> float:
+        """Average streams when every segment rides its minimum frequency.
+
+        At saturation each segment ``S_j`` is transmitted once every ``T[j]``
+        slots, so the long-run average bandwidth is ``sum_j 1 / T[j]`` in
+        units of the stream rate.  For the uniform vector this is the
+        harmonic number ``H(n)`` — the paper's DHB plateau in Figure 7.
+        """
+        return sum(1.0 / t for t in self._values)

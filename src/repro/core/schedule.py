@@ -1,0 +1,147 @@
+"""The slotted transmission schedule.
+
+:class:`SlotSchedule` is the single mutable data structure behind every
+dynamic slotted protocol here (DHB, UD, dynamic NPB).  It records which
+segment instances are transmitted in which slot and answers the two queries
+the schedulers need:
+
+* ``load(slot)`` — how many instances (= data streams of bandwidth ``b``)
+  slot already carries, and
+* ``next_transmission(segment)`` — the slot of the segment's only scheduled
+  future instance, if any.
+
+The second query exploits a structural invariant of window-based sharing
+protocols: as long as every request checks the window ``[i+1, i+T[j]]``
+before scheduling ``S_j``, **at most one instance of each segment is ever
+scheduled in the strict future**.  (Any previous request arrived at some
+``i' <= i`` and placed its instance at ``k <= i' + T[j] <= i + T[j]``; if
+``k > i`` that instance lies inside the new request's window and is shared
+instead of duplicated.)  The schedule still keeps the full per-slot instance
+lists, both for bandwidth accounting and so that tests can audit the raw
+schedule; :meth:`release_before` garbage-collects slots the simulation has
+moved past, keeping memory flat over arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SchedulingError
+
+
+class SlotSchedule:
+    """Per-slot segment instances plus per-segment future-instance index.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of segments the video is partitioned into (segments are the
+        1-based ``S_1 .. S_n`` of the paper).
+    segment_weights:
+        Optional per-segment weights (``segment_weights[j-1]`` for ``S_j``),
+        typically the segment's byte size.  When given, :meth:`weight`
+        reports the per-slot weighted load, which is how the compressed-
+        video experiment accounts *transmitted bytes* rather than allocated
+        stream-slots.
+
+    Examples
+    --------
+    >>> schedule = SlotSchedule(n_segments=6)
+    >>> schedule.add(slot=2, segment=1)
+    >>> schedule.load(2)
+    1
+    >>> schedule.next_transmission(1)
+    2
+    >>> schedule.next_transmission(5) is None
+    True
+    """
+
+    def __init__(self, n_segments: int, segment_weights: Optional[Sequence[float]] = None):
+        if n_segments < 1:
+            raise SchedulingError(f"need >= 1 segment, got {n_segments}")
+        self.n_segments = int(n_segments)
+        if segment_weights is None:
+            self._weights = [1.0] * self.n_segments
+        else:
+            if len(segment_weights) != self.n_segments:
+                raise SchedulingError(
+                    f"{len(segment_weights)} weights for {self.n_segments} segments"
+                )
+            if any(w < 0 for w in segment_weights):
+                raise SchedulingError("segment weights must be >= 0")
+            self._weights = [float(w) for w in segment_weights]
+        self._slots: Dict[int, List[int]] = {}
+        self._slot_weights: Dict[int, float] = {}
+        # next_tx[j-1]: slot of S_j's scheduled future instance, or None.
+        self._next_tx: List = [None] * self.n_segments
+        self._released_before = 0
+        self._total_instances = 0
+
+    @property
+    def total_instances(self) -> int:
+        """Total segment instances ever added (never decremented by GC)."""
+        return self._total_instances
+
+    def _check_segment(self, segment: int) -> None:
+        if not 1 <= segment <= self.n_segments:
+            raise SchedulingError(
+                f"segment S{segment} outside S1..S{self.n_segments}"
+            )
+
+    def add(self, slot: int, segment: int) -> None:
+        """Schedule one instance of ``segment`` in ``slot``."""
+        self._check_segment(segment)
+        if slot < self._released_before:
+            raise SchedulingError(
+                f"slot {slot} already released (< {self._released_before})"
+            )
+        self._slots.setdefault(slot, []).append(segment)
+        self._slot_weights[slot] = (
+            self._slot_weights.get(slot, 0.0) + self._weights[segment - 1]
+        )
+        self._total_instances += 1
+        current = self._next_tx[segment - 1]
+        if current is None or slot > current:
+            self._next_tx[segment - 1] = slot
+
+    def load(self, slot: int) -> int:
+        """Number of instances scheduled in ``slot`` (streams of rate ``b``)."""
+        return len(self._slots.get(slot, ()))
+
+    def weight(self, slot: int) -> float:
+        """Weighted load of ``slot`` (bytes, when weights are byte sizes)."""
+        return self._slot_weights.get(slot, 0.0)
+
+    def segments_in(self, slot: int) -> List[int]:
+        """The segment instances scheduled in ``slot`` (copy, in add order)."""
+        return list(self._slots.get(slot, ()))
+
+    def next_transmission(self, segment: int):
+        """Slot of ``segment``'s latest scheduled instance, or ``None``.
+
+        Callers compare this against the current slot: an instance at a slot
+        ``> current`` is in the future and can be shared.
+        """
+        self._check_segment(segment)
+        return self._next_tx[segment - 1]
+
+    def has_instance_within(self, segment: int, first_slot: int, last_slot: int) -> bool:
+        """Whether ``segment`` has an instance in ``[first_slot, last_slot]``.
+
+        Uses the single-future-instance invariant, so this is O(1).
+        """
+        next_tx = self.next_transmission(segment)
+        return next_tx is not None and first_slot <= next_tx <= last_slot
+
+    def release_before(self, slot: int) -> None:
+        """Drop per-slot bookkeeping for slots ``< slot`` (bounded memory)."""
+        if slot <= self._released_before:
+            return
+        for old in range(self._released_before, slot):
+            self._slots.pop(old, None)
+            self._slot_weights.pop(old, None)
+        self._released_before = slot
+
+    def occupied_slots(self) -> List[int]:
+        """Sorted list of not-yet-released slots carrying any instance."""
+        return sorted(self._slots)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Subclasses are grouped by
+the subsystem that raises them; each one carries a human-readable message and,
+where useful, structured attributes for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol, video, or experiment was configured with invalid parameters.
+
+    Raised eagerly at construction time so that misconfiguration never
+    silently produces a wrong schedule or a wrong measurement.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler violated (or would violate) a delivery guarantee.
+
+    The slotted schedulers raise this when an internal invariant is broken,
+    e.g. a segment could not be placed within its deadline window.  Under the
+    published DHB algorithm this cannot happen (the window always contains at
+    least one feasible slot); seeing this error indicates a bug or an
+    inconsistent custom period vector.
+    """
+
+
+class DeadlineMissedError(SchedulingError):
+    """A client reception plan would miss a playout deadline.
+
+    Attributes
+    ----------
+    request_slot:
+        Slot during which the offending request arrived.
+    segment:
+        1-based index of the segment whose deadline would be missed.
+    deadline_slot:
+        Last slot in which the segment could have been received on time.
+    """
+
+    def __init__(self, request_slot: int, segment: int, deadline_slot: int):
+        self.request_slot = request_slot
+        self.segment = segment
+        self.deadline_slot = deadline_slot
+        super().__init__(
+            f"request arriving in slot {request_slot} would miss segment "
+            f"S{segment}: no transmission scheduled by slot {deadline_slot}"
+        )
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state.
+
+    Examples: an event scheduled in the past, or a simulation driven past its
+    configured horizon.
+    """
+
+
+class WorkloadError(ReproError):
+    """An arrival process or request stream was asked for something invalid."""
+
+
+class VideoModelError(ReproError):
+    """A video model or trace is malformed (negative sizes, empty trace, ...)."""
+
+
+class SmoothingError(ReproError):
+    """A smoothing computation is infeasible for the requested parameters.
+
+    Raised e.g. when a transmission rate below the video's long-run average is
+    requested, which can never sustain playout.
+    """

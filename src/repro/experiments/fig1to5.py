@@ -1,0 +1,104 @@
+"""Figures 1–5: the protocol-illustration schedules, reproduced verbatim.
+
+These figures are deterministic, so the reproduction is exact:
+
+* Figure 1 — the first three streams of Fast Broadcasting;
+* Figure 2 — the first three streams of New Pagoda Broadcasting;
+* Figure 3 — the first three streams of Skyscraper Broadcasting;
+* Figure 4 — the DHB transmission schedule created by a request arriving
+  into an idle system during slot 1 (six segments);
+* Figure 5 — the combined schedules after a second request during slot 3.
+
+The test suite asserts every rendering against the strings printed in the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.dhb import DHBProtocol
+from ..errors import ConfigurationError
+from ..protocols.fb import fb_map
+from ..protocols.npb import pagoda_map
+from ..protocols.sb import sb_map
+
+
+def render_dhb_schedule(requests_at_slots: List[int], n_segments: int = 6) -> str:
+    """Render DHB's slot-by-slot schedule in the style of Figures 4/5.
+
+    Instances scheduled in the same slot are stacked onto numbered streams,
+    earliest-scheduled instance on the lowest stream — which reproduces the
+    paper's two-row layout for the two-request example.
+
+    >>> print(render_dhb_schedule([1]))
+    Slot        1   2   3   4   5   6   7
+    1st Stream      S1  S2  S3  S4  S5  S6
+    """
+    if not requests_at_slots:
+        raise ConfigurationError("need at least one request slot")
+    protocol = DHBProtocol(n_segments=n_segments, track_clients=True)
+    for slot in sorted(requests_at_slots):
+        protocol.handle_request(slot)
+    first_slot = min(requests_at_slots)
+    last_slot = max(
+        slot for plan in protocol.clients for slot in plan.assignments.values()
+    )
+    per_slot: Dict[int, List[int]] = {
+        slot: protocol.schedule.segments_in(slot)
+        for slot in range(first_slot, last_slot + 1)
+    }
+    n_streams = max(len(instances) for instances in per_slot.values())
+    ordinal = {1: "1st", 2: "2nd", 3: "3rd"}
+    width = max(len(f"S{n_segments}"), 2)
+    header = "Slot        " + "  ".join(
+        str(slot).ljust(width) for slot in range(first_slot, last_slot + 1)
+    )
+    lines = [header.rstrip()]
+    for stream in range(n_streams):
+        label = f"{ordinal.get(stream + 1, f'{stream + 1}th')} Stream"
+        cells = []
+        for slot in range(first_slot, last_slot + 1):
+            instances = per_slot[slot]
+            cell = f"S{instances[stream]}" if stream < len(instances) else ""
+            cells.append(cell.ljust(width))
+        lines.append((label.ljust(12) + "  ".join(cells)).rstrip())
+    return "\n".join(lines)
+
+
+def render_figure(figure: int) -> str:
+    """Return the text reproduction of paper figure 1–5.
+
+    >>> print(render_figure(3))
+    Figure 3. The first three streams for skyscraper broadcasting
+    Stream 1  S1 S1 S1 S1
+    Stream 2  S2 S3 S2 S3
+    Stream 3  S4 S5 S4 S5
+    """
+    if figure == 1:
+        title = "Figure 1. The first three streams for fast broadcasting"
+        return f"{title}\n{fb_map(3).render(4)}"
+    if figure == 2:
+        title = "Figure 2. The first three streams for the NPB protocol"
+        return f"{title}\n{pagoda_map(3).render(6)}"
+    if figure == 3:
+        title = "Figure 3. The first three streams for skyscraper broadcasting"
+        return f"{title}\n{sb_map(3).render(4)}"
+    if figure == 4:
+        title = (
+            "Figure 4. Transmission schedule of an incoming request arriving "
+            "into an idle system."
+        )
+        return f"{title}\n{render_dhb_schedule([1])}"
+    if figure == 5:
+        title = (
+            "Figure 5. Combined transmission schedules of two overlapping "
+            "requests for the same video."
+        )
+        return f"{title}\n{render_dhb_schedule([1, 3])}"
+    raise ConfigurationError(f"figure must be 1..5, got {figure}")
+
+
+def render_all_figures() -> str:
+    """All five illustration figures, separated by blank lines."""
+    return "\n\n".join(render_figure(figure) for figure in range(1, 6))

@@ -1,0 +1,45 @@
+"""Figure 8 — compared *maximum* bandwidth of UD, DHB and NPB.
+
+Same setup as Figure 7 (two-hour video, 99 segments), but the y-axis is the
+peak number of concurrent streams over the run.
+
+Published shape (asserted by the bench/tests): "NPB has the smallest maximum
+bandwidth and DHB the highest but the difference between these two protocols
+never exceeds twice the video consumption rate" — i.e.
+``max(DHB) - max(NPB) <= 2`` streams, with UD in between.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.metrics import ProtocolSeries
+from ..analysis.tables import format_series_table
+from .config import SweepConfig
+from .runner import sweep_protocols
+
+#: Registry names and display labels, in the paper's legend order.
+FIG8_PROTOCOLS = (
+    ("ud", "UD Protocol"),
+    ("dhb", "DHB Protocol"),
+    ("npb", "New Pagoda Broadcasting"),
+)
+
+
+def run_fig8(config: Optional[SweepConfig] = None) -> List[ProtocolSeries]:
+    """Regenerate Figure 8's three series."""
+    if config is None:
+        config = SweepConfig()
+    names = [name for name, _ in FIG8_PROTOCOLS]
+    labels = [label for _, label in FIG8_PROTOCOLS]
+    return sweep_protocols(names, config, labels)
+
+
+def report_fig8(series: List[ProtocolSeries]) -> str:
+    """Render Figure 8 as the paper's series table (streams, max)."""
+    header = (
+        "Figure 8. Compared maximum bandwidth requirements of NPB, UD and\n"
+        "DHB protocols with 99 segments.\n"
+        "(bandwidth in multiples of the video consumption rate)\n"
+    )
+    return header + format_series_table(series, value="max", precision=0)

@@ -1,0 +1,102 @@
+"""Figure 9 — compressed video: UD vs the four DHB implementations.
+
+Paper setup (Section 4): a DVD MPEG encode of *The Matrix* — 8170 s,
+average 636 KB/s, 1-second peak 951 KB/s — distributed with a one-minute
+maximum waiting time.  We substitute a synthetic trace calibrated to those
+exact statistics (:mod:`repro.video.matrix`; see DESIGN.md §3).
+
+Series:
+
+* **UD** — the universal distribution protocol on the same video
+  (137 segments, streams at the peak rate);
+* **DHB-a** — 137 segments, streams at the 951 KB/s peak;
+* **DHB-b** — deterministic waiting time; streams at the maximum
+  per-segment average (789 KB/s in the paper);
+* **DHB-c** — work-ahead smoothing (129 segments @ 671 KB/s in the paper);
+* **DHB-d** — DHB-c plus relaxed minimum segment frequencies.
+
+Published shape (asserted by the bench/tests): at moderate-to-high rates
+``UD > DHB-a > DHB-b > DHB-c > DHB-d``; the a→b drop is the largest single
+saving ("switching to a deterministic waiting time has the most impact"),
+the b→c saving is small, and c→d is the second largest ("followed by
+adjusting the minimum segment frequency").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.metrics import ProtocolSeries
+from ..analysis.tables import format_series_table
+from ..core.variants import make_all_variants
+from ..protocols.ud import UniversalDistributionProtocol
+from ..units import MEGABYTE, MINUTE
+from ..video.matrix import matrix_like_video
+from ..video.segmentation import segments_for_wait
+from ..video.vbr import VBRVideo
+from .config import SweepConfig
+from .runner import arrivals_for_rate, measure_protocol
+
+#: Maximum waiting time of the Section 4 case study: one minute.
+FIG9_MAX_WAIT = MINUTE
+
+
+def fig9_config(config: Optional[SweepConfig] = None, video: Optional[VBRVideo] = None):
+    """The (config, video) pair of the Figure 9 experiment."""
+    if video is None:
+        video = matrix_like_video()
+    n_segments = segments_for_wait(video.duration, FIG9_MAX_WAIT)
+    if config is None:
+        config = SweepConfig()
+    config = config.replace(duration=video.duration, n_segments=n_segments)
+    return config, video
+
+
+def run_fig9(
+    config: Optional[SweepConfig] = None, video: Optional[VBRVideo] = None
+) -> List[ProtocolSeries]:
+    """Regenerate Figure 9's five series (bandwidths in bytes/second)."""
+    config, video = fig9_config(config, video)
+    variants = make_all_variants(video, FIG9_MAX_WAIT)
+    peak_rate = video.peak_bandwidth(window_seconds=1)
+
+    all_series: List[ProtocolSeries] = [ProtocolSeries("UD")]
+    for name in ("DHB-a", "DHB-b", "DHB-c", "DHB-d"):
+        all_series.append(ProtocolSeries(name))
+
+    for rate in config.rates_per_hour:
+        arrivals = arrivals_for_rate(config, rate)
+        ud = UniversalDistributionProtocol(n_segments=config.n_segments)
+        all_series[0].add(
+            measure_protocol(
+                ud,
+                config,
+                rate,
+                arrival_times=arrivals,
+                stream_bandwidth=peak_rate,
+                slot_duration=FIG9_MAX_WAIT,
+            )
+        )
+        for index, name in enumerate(("DHB-a", "DHB-b", "DHB-c", "DHB-d")):
+            variant = variants[name]
+            all_series[index + 1].add(
+                measure_protocol(
+                    variant.build_protocol(),
+                    config,
+                    rate,
+                    arrival_times=arrivals,
+                    stream_bandwidth=variant.stream_rate,
+                    slot_duration=variant.slot_duration,
+                )
+            )
+    return all_series
+
+
+def report_fig9(series: List[ProtocolSeries]) -> str:
+    """Render Figure 9 as the paper's series table (MB/s, mean)."""
+    header = (
+        "Figure 9. Compared average bandwidth requirements of the UD protocol\n"
+        "and four implementations of the DHB protocol.\n"
+        "(bandwidth in MB/s; synthetic Matrix-calibrated trace)\n"
+    )
+    return header + format_series_table(series, value="mean", unit_scale=MEGABYTE)

@@ -1,0 +1,249 @@
+"""The protocol-agnostic measurement loop.
+
+One point = one protocol instance simulated over one seeded Poisson arrival
+trace.  Slotted and reactive protocols run on their respective drivers but
+report the same :class:`~repro.analysis.metrics.BandwidthPoint`, so figure
+modules and the CLI treat them uniformly.  At a given rate, every protocol
+sees the *same* arrival trace (common random numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..analysis.metrics import BandwidthPoint, ProtocolSeries
+from ..errors import ConfigurationError
+from ..protocols.registry import ProtocolContext, build_protocol, is_slotted
+from ..sim.continuous import ContinuousSimulation, ReactiveModel
+from ..sim.rng import RandomStreams
+from ..sim.slotted import SlottedModel, SlottedSimulation
+from ..workload.arrivals import PoissonArrivals
+from .config import SweepConfig
+
+AnyProtocol = Union[SlottedModel, ReactiveModel]
+ProtocolFactory = Callable[[float], AnyProtocol]
+
+
+def arrivals_for_rate(
+    config: SweepConfig, rate_per_hour: float
+) -> np.ndarray:
+    """The seeded arrival trace every protocol shares at ``rate_per_hour``."""
+    horizon = config.horizon_hours(rate_per_hour) * 3600.0
+    rng = RandomStreams(config.seed).get(f"arrivals@{rate_per_hour:g}")
+    return PoissonArrivals(rate_per_hour).generate(horizon, rng)
+
+
+def measure_protocol(
+    protocol: AnyProtocol,
+    config: SweepConfig,
+    rate_per_hour: float,
+    arrival_times: Optional[Sequence[float]] = None,
+    stream_bandwidth: float = 1.0,
+    slot_duration: Optional[float] = None,
+    byte_weighted: bool = False,
+) -> BandwidthPoint:
+    """Simulate one protocol at one rate and reduce to a bandwidth point.
+
+    Parameters
+    ----------
+    protocol:
+        A fresh slotted or reactive protocol instance.
+    config:
+        The sweep parameters (horizon/warmup policy, slot duration).
+    rate_per_hour:
+        The nominal Poisson rate (recorded on the point; also used to size
+        the horizon when ``arrival_times`` is omitted).
+    arrival_times:
+        Optional pre-generated arrivals (for common random numbers).
+    stream_bandwidth:
+        Bytes/second carried by one stream; bandwidths are scaled by it
+        (leave 1.0 to report in streams, as Figures 7/8 do).
+    slot_duration:
+        Override the slot length (defaults to ``config.slot_duration``).
+        The compressed-video experiment pins it to the waiting-time target
+        while segment counts vary across DHB variants.
+    byte_weighted:
+        Report the protocol's per-slot *weighted* load divided by the slot
+        length — i.e. transmitted bytes/second when the protocol carries
+        per-segment byte weights (Figure 9 accounting).  Only valid for
+        slotted protocols; ``stream_bandwidth`` is ignored.
+    """
+    if rate_per_hour <= 0:
+        raise ConfigurationError("rate must be > 0")
+    if arrival_times is None:
+        arrival_times = arrivals_for_rate(config, rate_per_hour)
+    horizon_seconds = config.horizon_hours(rate_per_hour) * 3600.0
+
+    if isinstance(protocol, SlottedModel):
+        d = slot_duration if slot_duration is not None else config.slot_duration
+        horizon_slots = int(horizon_seconds / d)
+        warmup_slots = int(horizon_slots * config.warmup_fraction)
+        result = SlottedSimulation(protocol, d, horizon_slots, warmup_slots).run(
+            arrival_times
+        )
+        if byte_weighted:
+            return BandwidthPoint(
+                rate_per_hour=rate_per_hour,
+                mean_bandwidth=result.mean_weight / d,
+                max_bandwidth=result.max_weight / d,
+                mean_wait=result.mean_wait,
+                n_requests=result.n_requests,
+            )
+        return BandwidthPoint(
+            rate_per_hour=rate_per_hour,
+            mean_bandwidth=result.mean_streams * stream_bandwidth,
+            max_bandwidth=result.max_streams * stream_bandwidth,
+            mean_wait=result.mean_wait,
+            n_requests=result.n_requests,
+        )
+    if byte_weighted:
+        raise ConfigurationError("byte-weighted accounting needs a slotted protocol")
+    if isinstance(protocol, ReactiveModel):
+        warmup = horizon_seconds * config.warmup_fraction
+        result = ContinuousSimulation(protocol, horizon_seconds, warmup).run(
+            arrival_times
+        )
+        return BandwidthPoint(
+            rate_per_hour=rate_per_hour,
+            mean_bandwidth=result.mean_streams * stream_bandwidth,
+            max_bandwidth=result.max_streams * stream_bandwidth,
+            mean_wait=result.mean_wait,
+            n_requests=result.n_requests,
+        )
+    raise ConfigurationError(
+        f"protocol {type(protocol).__name__} is neither slotted nor reactive"
+    )
+
+
+def sweep_factory(
+    label: str,
+    factory: ProtocolFactory,
+    config: SweepConfig,
+    stream_bandwidth: float = 1.0,
+) -> ProtocolSeries:
+    """Sweep one protocol factory over every configured rate.
+
+    ``factory(rate_per_hour)`` must return a *fresh* protocol; reactive
+    protocols typically tune their windows to the rate.
+    """
+    series = ProtocolSeries(protocol=label)
+    for rate in config.rates_per_hour:
+        protocol = factory(rate)
+        point = measure_protocol(
+            protocol,
+            config,
+            rate,
+            arrival_times=arrivals_for_rate(config, rate),
+            stream_bandwidth=stream_bandwidth,
+        )
+        series.add(point)
+    return series
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """A bandwidth measurement replicated over independent seeds.
+
+    Attributes
+    ----------
+    rate_per_hour:
+        The operating point.
+    mean:
+        Grand mean of the replications' mean bandwidths.
+    half_width:
+        Normal-theory 95 % confidence half-width across replications.
+    replications:
+        The individual replication means.
+    """
+
+    rate_per_hour: float
+    mean: float
+    half_width: float
+    replications: Tuple[float, ...]
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The (low, high) confidence interval."""
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+
+def replicate_measurement(
+    factory: ProtocolFactory,
+    config: SweepConfig,
+    rate_per_hour: float,
+    n_replications: int = 5,
+) -> ReplicatedPoint:
+    """Replicate one measurement over independent seeds.
+
+    Every replication gets a fresh protocol from ``factory`` and an arrival
+    trace from a distinct derived seed; the result carries a confidence
+    interval so sweep-level ordering claims can be checked against noise.
+
+    >>> from ..core.dhb import DHBProtocol
+    >>> cfg = SweepConfig().quick(rates_per_hour=(30.0,), base_hours=3.0,
+    ...                           min_requests=20)
+    >>> point = replicate_measurement(
+    ...     lambda rate: DHBProtocol(n_segments=cfg.n_segments), cfg, 30.0,
+    ...     n_replications=3)
+    >>> len(point.replications)
+    3
+    >>> point.half_width >= 0.0
+    True
+    """
+    if n_replications < 2:
+        raise ConfigurationError("need >= 2 replications for an interval")
+    means: List[float] = []
+    for replication in range(n_replications):
+        replication_config = config.replace(seed=config.seed + 7919 * (replication + 1))
+        point = measure_protocol(
+            factory(rate_per_hour),
+            replication_config,
+            rate_per_hour,
+            arrival_times=arrivals_for_rate(replication_config, rate_per_hour),
+        )
+        means.append(point.mean_bandwidth)
+    grand = sum(means) / n_replications
+    variance = sum((m - grand) ** 2 for m in means) / (n_replications - 1)
+    half_width = 1.96 * (variance / n_replications) ** 0.5
+    return ReplicatedPoint(
+        rate_per_hour=rate_per_hour,
+        mean=grand,
+        half_width=half_width,
+        replications=tuple(means),
+    )
+
+
+def sweep_protocols(
+    names: Sequence[str], config: SweepConfig, labels: Optional[Sequence[str]] = None
+) -> List[ProtocolSeries]:
+    """Sweep several registry protocols under common random numbers.
+
+    Parameters
+    ----------
+    names:
+        Registry names (see
+        :func:`repro.protocols.registry.available_protocols`).
+    config:
+        Sweep parameters.
+    labels:
+        Optional display labels, parallel to ``names``.
+    """
+    if labels is None:
+        labels = list(names)
+    if len(labels) != len(names):
+        raise ConfigurationError("labels must parallel names")
+    all_series: List[ProtocolSeries] = []
+    for name, label in zip(names, labels):
+        def factory(rate: float, _name: str = name) -> AnyProtocol:
+            context = ProtocolContext(
+                n_segments=config.n_segments,
+                duration=config.duration,
+                rate_per_hour=rate,
+            )
+            return build_protocol(_name, context)
+
+        all_series.append(sweep_factory(label, factory, config))
+    return all_series

@@ -1,0 +1,186 @@
+"""Shared machinery for the fixed (proactive) broadcasting protocols.
+
+A fixed broadcasting protocol is completely described by a **static map**:
+for each data stream, a periodic pattern of segment numbers.  FB, NPB and SB
+differ only in that map (the paper's Figures 1–3), so they share
+:class:`StaticBroadcastProtocol`, which
+
+* answers the slotted-simulation interface (the server bandwidth of a fixed
+  protocol is simply its stream count — "their bandwidth requirements are
+  not affected by the request arrival rate"), and
+* exposes the map itself, so tests can verify the delivery guarantee and the
+  experiment harness can print the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, List
+
+from ..errors import ConfigurationError, SchedulingError
+from ..sim.slotted import SlottedModel
+
+
+@dataclass(frozen=True)
+class StaticMap:
+    """A fixed segment-to-stream map.
+
+    Attributes
+    ----------
+    patterns:
+        ``patterns[s]`` is the repeating segment pattern of stream ``s``
+        (0-based streams); stream ``s`` transmits
+        ``patterns[s][slot % len(patterns[s])]`` during ``slot``.
+    n_segments:
+        Total number of video segments covered by the map.
+    """
+
+    patterns: List[List[int]]
+    n_segments: int
+
+    @property
+    def n_streams(self) -> int:
+        """Number of data streams the map occupies."""
+        return len(self.patterns)
+
+    def segment_at(self, stream: int, slot: int) -> int:
+        """Segment broadcast by 0-based ``stream`` during ``slot``."""
+        pattern = self.patterns[stream]
+        return pattern[slot % len(pattern)]
+
+    def segments_in_slot(self, slot: int) -> List[int]:
+        """All segments broadcast during ``slot``, one per stream."""
+        return [self.segment_at(stream, slot) for stream in range(self.n_streams)]
+
+    def period_of(self, segment: int) -> int:
+        """Broadcast period of ``segment``: gap between consecutive instances.
+
+        Raises :class:`~repro.errors.SchedulingError` when the segment's
+        occurrences are not evenly spaced within its stream pattern (every
+        protocol reproduced here uses evenly spaced instances).
+        """
+        for pattern in self.patterns:
+            hits = [idx for idx, seg in enumerate(pattern) if seg == segment]
+            if not hits:
+                continue
+            length = len(pattern)
+            gaps = {
+                (hits[(k + 1) % len(hits)] - hits[k]) % length or length
+                for k in range(len(hits))
+            }
+            if len(gaps) != 1:
+                raise SchedulingError(
+                    f"segment S{segment} is unevenly spaced in its stream"
+                )
+            return gaps.pop()
+        raise SchedulingError(f"segment S{segment} missing from the map")
+
+    def render(self, n_slots: int = 6) -> str:
+        """ASCII rendering in the style of the paper's Figures 1–3.
+
+        >>> simple = StaticMap(patterns=[[1], [2, 3]], n_segments=3)
+        >>> print(simple.render(4))
+        Stream 1  S1 S1 S1 S1
+        Stream 2  S2 S3 S2 S3
+        """
+        width = len(f"S{self.n_segments}")
+        lines = []
+        for stream in range(self.n_streams):
+            cells = " ".join(
+                f"S{self.segment_at(stream, slot)}".ljust(width)
+                for slot in range(n_slots)
+            )
+            lines.append(f"Stream {stream + 1}  {cells.rstrip()}")
+        return "\n".join(lines)
+
+
+def verify_static_map(static_map: StaticMap, exhaustive_arrivals: int = 0) -> None:
+    """Check the delivery guarantee of a fixed map.
+
+    A client arriving during slot ``i`` must find every segment ``S_j``
+    broadcast at least once during ``[i+1, i+j]``.  Because every protocol
+    here spaces a segment's occurrences evenly (:meth:`StaticMap.period_of`
+    enforces it), the guarantee is *exactly* equivalent to
+    ``period_of(S_j) <= j`` for every segment — any window of ``j``
+    consecutive slots then contains an occurrence.  That check is O(map
+    size), so it stays fast even for maps whose pattern hyper-period is
+    astronomically large (the six-stream pagoda map mixes train periods like
+    49, 56 and 91).
+
+    Parameters
+    ----------
+    exhaustive_arrivals:
+        Additionally replay this many concrete arrival slots with a sliding
+        window — a redundant cross-check used by the test suite on small
+        maps (0 skips it).
+
+    Raises
+    ------
+    SchedulingError
+        On the first violated segment or (arrival slot, segment) pair.
+    """
+    seen_segments: Dict[int, bool] = {
+        j: False for j in range(1, static_map.n_segments + 1)
+    }
+    for pattern in static_map.patterns:
+        for segment in pattern:
+            if segment in seen_segments:
+                seen_segments[segment] = True
+    missing = [j for j, seen in seen_segments.items() if not seen]
+    if missing:
+        raise SchedulingError(f"map never broadcasts segments {missing}")
+    for segment in range(1, static_map.n_segments + 1):
+        period = static_map.period_of(segment)
+        if period > segment:
+            raise SchedulingError(
+                f"S{segment} is broadcast every {period} slots, beyond its "
+                f"deadline window of {segment}"
+            )
+    for arrival in range(exhaustive_arrivals):
+        pending = set(range(1, static_map.n_segments + 1))
+        for offset in range(1, static_map.n_segments + 1):
+            slot = arrival + offset
+            for segment in static_map.segments_in_slot(slot):
+                pending.discard(segment)
+            # Segment j's deadline is relative slot j.
+            if offset in pending:
+                raise SchedulingError(
+                    f"arrival in slot {arrival}: S{offset} not broadcast by "
+                    f"relative slot {offset}"
+                )
+
+
+class StaticBroadcastProtocol(SlottedModel):
+    """A fixed broadcasting protocol driven by a :class:`StaticMap`.
+
+    Requests never change the schedule; the per-slot bandwidth is always the
+    stream count.  Subclasses (FB, NPB, SB) construct the map.
+    """
+
+    def __init__(self, static_map: StaticMap):
+        if static_map.n_streams < 1:
+            raise ConfigurationError("a broadcast protocol needs >= 1 stream")
+        self.map = static_map
+        self.requests_admitted = 0
+
+    @property
+    def n_segments(self) -> int:
+        """Number of video segments."""
+        return self.map.n_segments
+
+    @property
+    def n_streams(self) -> int:
+        """Number of permanently allocated data streams."""
+        return self.map.n_streams
+
+    def handle_request(self, slot: int) -> None:
+        """Requests are served by the fixed schedule; nothing to do."""
+        self.requests_admitted += 1
+
+    def slot_load(self, slot: int) -> int:
+        """Fixed protocols keep every stream busy in every slot."""
+        return self.map.n_streams
+
+    def release_before(self, slot: int) -> None:
+        """Stateless; nothing to release."""

@@ -1,0 +1,66 @@
+"""Request batching (Dan, Sitaram & Shahabuddin 1994-96).
+
+The earliest bandwidth-reduction idea the related-work section cites: hold
+arriving requests for a batching window and serve every member of the batch
+with a single multicast stream.  Cheap, but the waiting time is the window
+itself — the paper's framing is that batching-era protocols were superseded
+once set-top boxes gained buffers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..sim.continuous import BusyInterval, ReactiveModel
+from ..units import TWO_HOURS
+
+
+class BatchingProtocol(ReactiveModel):
+    """Window batching: one complete stream per batch.
+
+    Parameters
+    ----------
+    duration:
+        Video length ``D`` in seconds.
+    window:
+        Batching window in seconds; a batch opens at its first request and
+        is served (one multicast stream) ``window`` seconds later.
+
+    Examples
+    --------
+    >>> b = BatchingProtocol(duration=100.0, window=10.0)
+    >>> b.handle_request(5.0)     # opens a batch, served at t=15
+    [(15.0, 115.0)]
+    >>> b.handle_request(12.0)    # joins the same batch: free
+    []
+    >>> b.startup_delay(12.0)
+    3.0
+    """
+
+    def __init__(self, duration: float = TWO_HOURS, window: float = 300.0):
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        if window < 0:
+            raise ConfigurationError(f"window must be >= 0, got {window}")
+        self.duration = float(duration)
+        self.window = float(window)
+        self._batch_serve_time: Optional[float] = None
+        self._last_wait = 0.0
+        self.batches_served = 0
+        self.requests_served = 0
+
+    def handle_request(self, time: float) -> List[BusyInterval]:
+        """Open a batch or join the pending one."""
+        self.requests_served += 1
+        if self._batch_serve_time is None or time >= self._batch_serve_time:
+            self._batch_serve_time = time + self.window
+            self.batches_served += 1
+            self._last_wait = self.window
+            return [(self._batch_serve_time, self._batch_serve_time + self.duration)]
+        self._last_wait = self._batch_serve_time - time
+        return []
+
+    def startup_delay(self, time: float) -> float:
+        """Wait until the batch's multicast begins."""
+        return self._last_wait

@@ -1,0 +1,165 @@
+"""Harmonic broadcasting (Juhn & Tseng 1997) — analytical extension.
+
+The paper's Section 4 mentions polyharmonic broadcasting with partial
+preloading (PHB-PP) as one of only two prior protocols able to handle
+compressed video, while noting it "requires a large number of small
+bandwidth data streams".  Harmonic-family protocols broadcast segment
+``S_j`` continuously on its own sub-stream of bandwidth ``b / j``, for a
+total server bandwidth of ``b * H(n)`` — the information-theoretic floor the
+pagoda family approximates with equal-bandwidth streams, and exactly the
+plateau DHB reaches dynamically.
+
+Because the sub-streams are fractional-bandwidth and continuous, harmonic
+broadcasting does not fit the equal-bandwidth slotted interface; this module
+models it analytically (bandwidth, waiting time, delivery feasibility) so
+benches can plot it as a reference floor.
+"""
+
+from __future__ import annotations
+
+from ..analysis.theory import harmonic_number
+from ..errors import ConfigurationError
+
+
+class HarmonicBroadcasting:
+    """Classic harmonic broadcasting of ``n`` equal segments.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of segments; the maximum waiting time is ``D / n``.
+    duration:
+        Video length ``D`` in seconds.
+
+    Examples
+    --------
+    >>> hb = HarmonicBroadcasting(n_segments=99, duration=7200.0)
+    >>> round(hb.total_bandwidth, 3)
+    5.177
+    >>> round(hb.max_wait, 1)
+    72.7
+    """
+
+    def __init__(self, n_segments: int, duration: float):
+        if n_segments < 1:
+            raise ConfigurationError(f"need >= 1 segment, got {n_segments}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.n_segments = int(n_segments)
+        self.duration = float(duration)
+
+    @property
+    def segment_duration(self) -> float:
+        """Slot/segment length ``d = D / n`` in seconds."""
+        return self.duration / self.n_segments
+
+    @property
+    def max_wait(self) -> float:
+        """Maximum client waiting time (one segment duration).
+
+        The classic protocol as published actually requires clients to delay
+        one extra slot to avoid the well-known first-segment jitter flaw
+        (fixed by cautious harmonic variants); we report the intended wait.
+        """
+        return self.segment_duration
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Server bandwidth in units of ``b``: the harmonic number ``H(n)``."""
+        return harmonic_number(self.n_segments)
+
+    def sub_stream_bandwidth(self, segment: int) -> float:
+        """Bandwidth of ``S_j``'s continuous sub-stream, in units of ``b``."""
+        if not 1 <= segment <= self.n_segments:
+            raise ConfigurationError(
+                f"segment {segment} outside 1..{self.n_segments}"
+            )
+        return 1.0 / segment
+
+    def delivery_complete_by(self, segment: int) -> float:
+        """Relative time at which ``S_j`` is fully received (worst case).
+
+        Downloading ``S_j`` (d seconds of data) at rate ``b/j`` from the
+        moment reception starts takes ``j * d`` seconds — exactly the
+        segment's playout deadline.
+        """
+        if not 1 <= segment <= self.n_segments:
+            raise ConfigurationError(
+                f"segment {segment} outside 1..{self.n_segments}"
+            )
+        return segment * self.segment_duration
+
+
+class PolyharmonicBroadcasting(HarmonicBroadcasting):
+    """Polyharmonic broadcasting — the PHB of Section 4's PHB-PP.
+
+    PHB(m) starts playout only ``m`` slots after reception begins, which
+    lets segment ``S_j`` ride a sub-stream of bandwidth ``b / (m + j - 1)``:
+    the total drops from ``H(n)`` to ``H(n + m - 1) - H(m - 1)``, trading
+    startup delay for bandwidth.  ``m = 1`` is classic harmonic
+    broadcasting.  (The *partial preloading* refinement pre-stores the first
+    segments on the STB, removing the wait entirely; model it by dropping
+    the first ``preloaded`` segments from the bandwidth sum.)
+
+    Examples
+    --------
+    >>> phb = PolyharmonicBroadcasting(n_segments=99, duration=7200.0, m=4)
+    >>> phb.total_bandwidth < HarmonicBroadcasting(99, 7200.0).total_bandwidth
+    True
+    >>> round(phb.max_wait, 1)
+    290.9
+    """
+
+    def __init__(self, n_segments: int, duration: float, m: int = 1,
+                 preloaded: int = 0):
+        super().__init__(n_segments, duration)
+        if m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {m}")
+        if not 0 <= preloaded <= n_segments:
+            raise ConfigurationError(
+                f"preloaded must be in [0, {n_segments}], got {preloaded}"
+            )
+        self.m = int(m)
+        self.preloaded = int(preloaded)
+
+    @property
+    def max_wait(self) -> float:
+        """PHB(m) clients wait ``m`` slots (0 if the wait is preloaded away)."""
+        if self.preloaded >= self.m:
+            return 0.0
+        return self.m * self.segment_duration
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Server bandwidth in units of ``b``.
+
+        ``sum_{j>preloaded} 1 / (m + j - 1)``.
+        """
+        return sum(
+            1.0 / (self.m + j - 1)
+            for j in range(self.preloaded + 1, self.n_segments + 1)
+        )
+
+    def sub_stream_bandwidth(self, segment: int) -> float:
+        """Bandwidth of ``S_j``'s sub-stream: ``1 / (m + j - 1)``; 0 if preloaded."""
+        if not 1 <= segment <= self.n_segments:
+            raise ConfigurationError(
+                f"segment {segment} outside 1..{self.n_segments}"
+            )
+        if segment <= self.preloaded:
+            return 0.0
+        return 1.0 / (self.m + segment - 1)
+
+    def delivery_complete_by(self, segment: int) -> float:
+        """Worst-case full reception: ``(m + j - 1) * d <= (j-1+m) * d``.
+
+        Playout of ``S_j`` begins at relative time ``(m + j - 1) * d``
+        (a client waits ``m`` slots), so delivery is always on time.
+        """
+        if not 1 <= segment <= self.n_segments:
+            raise ConfigurationError(
+                f"segment {segment} outside 1..{self.n_segments}"
+            )
+        if segment <= self.preloaded:
+            return 0.0
+        return (self.m + segment - 1) * self.segment_duration

@@ -1,0 +1,169 @@
+"""Hierarchical multicast stream merging (Eager & Vernon 1999-2001).
+
+The strongest reactive rival the paper cites: clients may listen to **two**
+streams at once, so a later client can buffer an earlier client's stream
+while watching its own, *catch up*, and merge — and merged groups keep
+merging hierarchically toward the group's root stream.  "Its bandwidth
+requirements are indeed very close to the theoretical minimum for a reactive
+protocol that does not require the STB to receive more than two streams at
+the same time."
+
+Model (closest-target policy, conservative re-targeting)
+--------------------------------------------------------
+* The first request of a group starts a **root** stream carrying the whole
+  video in real time.
+* A request at time ``t_s`` starts its own stream and simultaneously listens
+  to the *most recent* still-active earlier stream (its target, started
+  ``t_r``).  Listening to both, it has buffered the target's transmissions
+  of positions ``>= t_s - t_r``; once its own stream has covered the prefix
+  ``[0, t_s - t_r)`` — after ``gap = t_s - t_r`` seconds — it can drop its
+  own stream and ride the target: a **merge**.
+* When a target merges away first, its listeners re-target the target's own
+  target.  Because a listener could not have been buffering the *new* target
+  before (the two-stream limit was spent), it conservatively extends its own
+  stream until it has covered everything not obtainable from the new target:
+  its effective gap becomes ``now - t_newtarget``.  This is an upper bound
+  on the published policy's cost (which recovers some buffered data), and it
+  keeps every delivery provably on time with at most two receptions.
+* Streams never outlive the video; a root expires after ``D`` and the next
+  request starts a fresh group.
+
+The implementation advances lazily: each request first settles every merge
+and expiry due before its arrival (in chronological cascade order), then
+joins the surviving structure; closed streams are emitted as busy intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim.continuous import BusyInterval, ReactiveModel
+from ..units import TWO_HOURS
+
+
+class _Stream:
+    """One server stream of a merging group."""
+
+    __slots__ = ("start", "target", "merge_time", "alive", "listeners")
+
+    def __init__(self, start: float, target: Optional["_Stream"]):
+        self.start = start
+        self.target = target
+        self.merge_time: Optional[float] = None
+        self.alive = True
+        self.listeners: List["_Stream"] = []
+
+
+class HMSMProtocol(ReactiveModel):
+    """Hierarchical multicast stream merging, closest-target policy.
+
+    Parameters
+    ----------
+    duration:
+        Video length ``D`` in seconds.
+
+    Examples
+    --------
+    >>> hmsm = HMSMProtocol(duration=100.0)
+    >>> hmsm.handle_request(0.0)    # root stream
+    []
+    >>> hmsm.handle_request(10.0)   # merges into the root after 10 s
+    []
+    >>> sorted(hmsm.finish(1000.0))
+    [(0.0, 100.0), (10.0, 20.0)]
+    """
+
+    def __init__(self, duration: float = TWO_HOURS):
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.duration = float(duration)
+        self._root: Optional[_Stream] = None
+        self._streams: List[_Stream] = []  # active, in start order
+        self._closed: List[BusyInterval] = []
+        self.requests_served = 0
+        self.merges = 0
+
+    def _advance(self, now: float) -> None:
+        """Process merges and expiry due strictly before/at ``now``."""
+        while True:
+            due: Optional[_Stream] = None
+            due_time = now
+            for stream in self._streams:
+                end = self._end_time(stream)
+                if end is not None and end <= due_time:
+                    due, due_time = stream, end
+            if due is None:
+                return
+            self._close(due, due_time)
+
+    def _end_time(self, stream: _Stream) -> Optional[float]:
+        if stream.target is None:
+            return stream.start + self.duration  # root expiry
+        return stream.merge_time
+
+    def _close(self, stream: _Stream, when: float) -> None:
+        """End ``stream`` (merge or expiry) and cascade re-targeting."""
+        stream.alive = False
+        self._streams.remove(stream)
+        self._closed.append((stream.start, when))
+        if stream.target is not None:
+            self.merges += 1
+        for listener in list(stream.listeners):
+            if not listener.alive:
+                continue
+            new_target = stream.target
+            if new_target is None or not new_target.alive:
+                # The whole chain above is gone: the listener becomes the
+                # group's root-like survivor and must play out on its own.
+                listener.target = None
+                listener.merge_time = None
+            else:
+                listener.target = new_target
+                new_target.listeners.append(listener)
+                # Conservative restart: the listener's own stream must cover
+                # [0, when - t_newtarget) before it can ride the new target.
+                effective_gap = when - new_target.start
+                listener.merge_time = min(
+                    listener.start + effective_gap,
+                    listener.start + self.duration,
+                )
+        stream.listeners.clear()
+        if stream is self._root:
+            self._root = None
+
+    def handle_request(self, time: float) -> List[BusyInterval]:
+        """Admit a request; completed stream intervals are emitted lazily."""
+        self._advance(time)
+        self.requests_served += 1
+        target = self._streams[-1] if self._streams else None
+        stream = _Stream(start=time, target=target)
+        if target is None:
+            self._root = stream
+        else:
+            target.listeners.append(stream)
+            gap = time - target.start
+            stream.merge_time = min(time + gap, time + self.duration)
+        self._streams.append(stream)
+        flushed = self._closed
+        self._closed = []
+        return flushed
+
+    def finish(self, horizon: float) -> List[BusyInterval]:
+        """Flush every remaining stream, clipping still-open ones."""
+        self._advance(horizon)
+        leftovers = [
+            (stream.start, min(self._end_or_horizon(stream, horizon), horizon))
+            for stream in self._streams
+        ]
+        flushed = self._closed + leftovers
+        self._closed = []
+        return flushed
+
+    def _end_or_horizon(self, stream: _Stream, horizon: float) -> float:
+        end = self._end_time(stream)
+        return end if end is not None else horizon
+
+    def startup_delay(self, time: float) -> float:
+        """Merging protocols give instant access."""
+        return 0.0

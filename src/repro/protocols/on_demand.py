@@ -1,0 +1,90 @@
+"""On-demand transmission over a fixed broadcast map.
+
+The Universal Distribution protocol and the dynamic NPB variant of Section 3
+share one idea: keep a fixed protocol's segment-to-stream *timing*, but
+transmit an occurrence only when at least one admitted client will consume
+it.  "Segments are transmitted only on demand, which saves a considerable
+amount of bandwidth when the request arrival rate remains below 100 requests
+per hour.  Above 200 requests per hour, all channels become saturated and
+the UD reverts to a conventional FB protocol."
+
+:class:`OnDemandMapProtocol` implements the shared machinery: a client
+arriving during slot ``i`` consumes, for each segment, the *first* map
+occurrence at or after slot ``i + 1`` (its set-top box listens to all
+streams); the server marks exactly those occurrences for transmission.
+Because occurrences of a segment are evenly spaced with a period no larger
+than the segment's deadline, the first occurrence is always on time, and
+marking is idempotent — overlapping requests share marked occurrences, which
+is where all the bandwidth savings come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.slotted import SlottedModel
+from .base import StaticMap
+
+
+class OnDemandMapProtocol(SlottedModel):
+    """Transmit a fixed map's occurrences only when a client needs them.
+
+    Parameters
+    ----------
+    static_map:
+        The underlying fixed schedule (FB for UD, pagoda for dynamic NPB).
+    """
+
+    def __init__(self, static_map: StaticMap):
+        self.map = static_map
+        # Per segment: (period, first-occurrence offset) within the map.
+        self._timing: List[Tuple[int, int]] = []
+        for segment in range(1, static_map.n_segments + 1):
+            period = static_map.period_of(segment)
+            offset = self._first_offset(static_map, segment, period)
+            self._timing.append((period, offset))
+        self._marked: Dict[int, Set[int]] = {}
+        self._released_before = 0
+        self.requests_admitted = 0
+
+    @staticmethod
+    def _first_offset(static_map: StaticMap, segment: int, period: int) -> int:
+        for slot in range(period):
+            if segment in static_map.segments_in_slot(slot):
+                return slot
+        raise ConfigurationError(f"segment S{segment} missing from map")
+
+    @property
+    def n_segments(self) -> int:
+        """Number of video segments."""
+        return self.map.n_segments
+
+    @property
+    def n_streams(self) -> int:
+        """Streams of the underlying map (the saturation bandwidth)."""
+        return self.map.n_streams
+
+    def next_occurrence(self, segment: int, after_slot: int) -> int:
+        """First slot ``>= after_slot`` in which ``segment`` is broadcast."""
+        period, offset = self._timing[segment - 1]
+        if after_slot <= offset:
+            return offset
+        return offset + -(-(after_slot - offset) // period) * period
+
+    def handle_request(self, slot: int) -> None:
+        """Mark, for each segment, its first occurrence after ``slot``."""
+        for segment in range(1, self.map.n_segments + 1):
+            occurrence = self.next_occurrence(segment, slot + 1)
+            self._marked.setdefault(occurrence, set()).add(segment)
+        self.requests_admitted += 1
+
+    def slot_load(self, slot: int) -> int:
+        """Occurrences actually transmitted during ``slot``."""
+        return len(self._marked.get(slot, ()))
+
+    def release_before(self, slot: int) -> None:
+        """Drop bookkeeping for slots ``< slot``."""
+        for old in range(self._released_before, slot):
+            self._marked.pop(old, None)
+        self._released_before = max(self._released_before, slot)

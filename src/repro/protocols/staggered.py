@@ -1,0 +1,68 @@
+"""Staggered broadcasting — the primordial proactive baseline.
+
+Before segment-based protocols, "near video-on-demand" simply looped the
+whole video on ``C`` channels, offset ``D / C`` apart (the scheme selective
+catching's dedicated channels inherit).  It needs neither set-top-box
+buffering nor multi-stream reception, at the price of a ``D / C`` maximum
+wait — the baseline every broadcasting protocol in the paper improves on.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.slotted import SlottedModel
+
+
+class StaggeredBroadcasting(SlottedModel):
+    """``n_channels`` whole-video loops, offset evenly.
+
+    The slotted interface treats one video length as ``n_channels`` slots of
+    duration ``D / n_channels`` — each slot boundary starts one loop.
+
+    Parameters
+    ----------
+    n_channels:
+        Dedicated channels ``C``.
+    duration:
+        Video length ``D`` in seconds.
+
+    Examples
+    --------
+    >>> stag = StaggeredBroadcasting(n_channels=4, duration=7200.0)
+    >>> stag.max_wait
+    1800.0
+    >>> stag.slot_load(123)
+    4
+    """
+
+    def __init__(self, n_channels: int, duration: float):
+        if n_channels < 1:
+            raise ConfigurationError(f"need >= 1 channel, got {n_channels}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.n_channels = int(n_channels)
+        self.duration = float(duration)
+        self.requests_admitted = 0
+
+    @property
+    def slot_duration(self) -> float:
+        """Offset between consecutive loop starts."""
+        return self.duration / self.n_channels
+
+    @property
+    def max_wait(self) -> float:
+        """Worst-case wait: one full offset."""
+        return self.slot_duration
+
+    @property
+    def mean_wait(self) -> float:
+        """Expected wait under uniform arrivals."""
+        return self.slot_duration / 2.0
+
+    def handle_request(self, slot: int) -> None:
+        """The fixed loops serve everyone; nothing to schedule."""
+        self.requests_admitted += 1
+
+    def slot_load(self, slot: int) -> int:
+        """All channels are always busy."""
+        return self.n_channels

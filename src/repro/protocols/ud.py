@@ -1,0 +1,49 @@
+"""The Universal Distribution protocol (Pâris, Carter & Long 2000).
+
+UD is "a dynamic broadcasting protocol based upon the FB protocol" — FB's
+segment-to-stream timing, with every occurrence transmitted only on demand.
+At low request rates it matches the best reactive protocols; past roughly
+two hundred requests per hour every FB channel occurrence is needed by some
+client and UD's bandwidth saturates at FB's stream count (its flat ceiling
+in Figures 7 and 8, one stream above DHB's harmonic plateau for comparable
+segment counts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .fb import fb_map, fb_streams_for_segments
+from .on_demand import OnDemandMapProtocol
+
+
+class UniversalDistributionProtocol(OnDemandMapProtocol):
+    """UD: on-demand Fast Broadcasting.
+
+    Parameters
+    ----------
+    n_segments:
+        Segment count (99 in Figures 7 and 8); the FB substrate uses the
+        fewest streams that carry it, truncating the last stream's cycle.
+    n_streams:
+        Alternatively, a stream count (full FB capacity).
+
+    Examples
+    --------
+    >>> ud = UniversalDistributionProtocol(n_segments=99)
+    >>> ud.n_streams
+    7
+    >>> ud.handle_request(slot=0)
+    >>> ud.slot_load(1) > 0
+    True
+    """
+
+    def __init__(
+        self, n_segments: Optional[int] = None, n_streams: Optional[int] = None
+    ):
+        if n_segments is None and n_streams is None:
+            raise ConfigurationError("give n_segments and/or n_streams")
+        if n_streams is None:
+            n_streams = fb_streams_for_segments(n_segments)
+        super().__init__(fb_map(n_streams, n_segments))

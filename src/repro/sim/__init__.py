@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the machinery every experiment in the reproduction
+runs on:
+
+* :mod:`repro.sim.rng` — named, independently seeded random streams so that
+  e.g. arrival noise and video noise never share a generator.
+* :mod:`repro.sim.events` / :mod:`repro.sim.engine` — a classic event-heap
+  discrete-event kernel.
+* :mod:`repro.sim.slotted` — a slot-synchronous driver used by the slotted
+  broadcasting protocols (DHB, UD, FB, NPB, ...).
+* :mod:`repro.sim.continuous` — a continuous-time driver for the reactive
+  protocols (stream tapping, patching, batching).
+* :mod:`repro.sim.stats` / :mod:`repro.sim.recorder` — online statistics
+  (means, maxima, time-weighted averages, batch-means confidence intervals)
+  and per-slot / busy-interval recorders.
+"""
+
+from .continuous import BusyInterval, ContinuousSimulation, ReactiveModel, ReactiveResult
+from .engine import EventEngine
+from .events import Event
+from .recorder import SlotLoadRecorder, TimeWeightedRecorder
+from .rng import RandomStreams
+from .slotted import SlottedModel, SlottedResult, SlottedSimulation
+from .stats import OnlineStats, TimeWeightedStats, batch_means_ci
+
+__all__ = [
+    "BusyInterval",
+    "ContinuousSimulation",
+    "Event",
+    "EventEngine",
+    "OnlineStats",
+    "RandomStreams",
+    "ReactiveModel",
+    "ReactiveResult",
+    "SlotLoadRecorder",
+    "SlottedModel",
+    "SlottedResult",
+    "SlottedSimulation",
+    "TimeWeightedRecorder",
+    "TimeWeightedStats",
+    "batch_means_ci",
+]

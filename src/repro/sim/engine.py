@@ -1,0 +1,113 @@
+"""A minimal, deterministic discrete-event engine.
+
+The reactive protocols (stream tapping, patching, batching, selective
+catching) are continuous-time systems: streams start and end at arbitrary
+instants.  :class:`EventEngine` provides the classic heap-based kernel for
+them.  The slotted protocols use :mod:`repro.sim.slotted` instead, which is
+simpler and faster for slot-synchronous work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+
+class EventEngine:
+    """Heap-ordered discrete-event executor.
+
+    Events scheduled for the same instant fire in scheduling order.  The
+    engine never moves time backwards; scheduling an event in the past raises
+    :class:`~repro.errors.SimulationError`.
+
+    Examples
+    --------
+    >>> engine = EventEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = engine.schedule(1.0, lambda: fired.append("a"))
+    >>> engine.run_until(10.0)
+    >>> fired
+    ['a', 'b']
+    >>> engine.now
+    10.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def schedule(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to fire at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={time} before now={self._now}"
+            )
+        event = Event(time, action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {label!r} with delay {delay} < 0")
+        return self.schedule(self._now + delay, action, label)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns ``False`` if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._fired += 1
+            return True
+        return False
+
+    def run_until(self, horizon: float) -> None:
+        """Fire all events with ``time <= horizon`` and advance now to it.
+
+        Events scheduled during execution are honoured as long as they land
+        within the horizon.
+        """
+        if horizon < self._now:
+            raise SimulationError(f"horizon {horizon} is before now={self._now}")
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            self.step()
+        self._now = horizon
+
+    def run_to_exhaustion(self, max_events: int = 10_000_000) -> None:
+        """Fire events until the queue drains (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(f"engine did not drain within {max_events} events")

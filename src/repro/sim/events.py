@@ -1,0 +1,58 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are totally
+ordered by ``(time, sequence number)`` so that simultaneous events fire in
+the order they were scheduled (deterministic tie-breaking — essential for
+reproducible runs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    seq:
+        Monotonic tie-breaker assigned at construction; never set manually.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag, useful in engine traces.
+    cancelled:
+        Cooperative-cancellation flag; a cancelled event is skipped by the
+        engine without invoking its action.
+    """
+
+    time: float
+    seq: int = field(compare=True)
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        label: str = "",
+        seq: Optional[int] = None,
+    ):
+        self.time = float(time)
+        self.seq = next(_SEQUENCE) if seq is None else seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine drops it instead of firing it."""
+        self.cancelled = True

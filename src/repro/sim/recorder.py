@@ -1,0 +1,139 @@
+"""Measurement recorders.
+
+* :class:`SlotLoadRecorder` — collects per-slot integer stream counts for the
+  slotted protocols, honouring a warmup window that is excluded from the
+  reported statistics (classic steady-state methodology).
+* :class:`TimeWeightedRecorder` — collects ``(start, end)`` busy intervals
+  from the continuous-time protocols and reduces them, via an endpoint sweep,
+  to the time-weighted mean and maximum concurrency inside a measurement
+  window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import SimulationError
+from .stats import OnlineStats
+
+
+class SlotLoadRecorder:
+    """Accumulates the per-slot number of transmitted segment instances.
+
+    Parameters
+    ----------
+    warmup_slots:
+        Loads recorded for slots below this index are discarded (transient).
+    keep_series:
+        When true, the post-warmup loads are kept as a list (used by tests
+        and by benches that print full series); otherwise only the online
+        summary is retained, keeping memory flat for very long runs.
+    """
+
+    def __init__(self, warmup_slots: int = 0, keep_series: bool = False):
+        if warmup_slots < 0:
+            raise SimulationError(f"warmup_slots must be >= 0, got {warmup_slots}")
+        self.warmup_slots = warmup_slots
+        self.keep_series = keep_series
+        self.series: List[int] = []
+        self._stats = OnlineStats()
+
+    def record(self, slot: int, load: int) -> None:
+        """Record that ``load`` segment instances were transmitted in ``slot``."""
+        if load < 0:
+            raise SimulationError(f"negative load {load} in slot {slot}")
+        if slot < self.warmup_slots:
+            return
+        self._stats.add(float(load))
+        if self.keep_series:
+            self.series.append(load)
+
+    @property
+    def slots_measured(self) -> int:
+        """Number of post-warmup slots recorded."""
+        return self._stats.count
+
+    @property
+    def mean_load(self) -> float:
+        """Average number of concurrent streams over the measured slots."""
+        return self._stats.mean
+
+    @property
+    def max_load(self) -> float:
+        """Peak number of concurrent streams over the measured slots."""
+        return self._stats.maximum if self._stats.count else 0.0
+
+
+class TimeWeightedRecorder:
+    """Reduces busy intervals to mean/max concurrency within a window.
+
+    Streams in the reactive protocols are intervals ``[start, end)`` during
+    which one server channel of video-consumption-rate bandwidth is busy.
+    The recorder clips every interval to the measurement window
+    ``[window_start, window_end)`` and computes:
+
+    * ``mean_concurrency`` — total clipped busy time divided by window length,
+    * ``max_concurrency`` — peak simultaneous intervals, via endpoint sweep.
+
+    >>> rec = TimeWeightedRecorder(0.0, 10.0)
+    >>> rec.add_interval(0.0, 5.0)
+    >>> rec.add_interval(2.0, 8.0)
+    >>> rec.mean_concurrency()
+    1.1
+    >>> rec.max_concurrency()
+    2
+    """
+
+    def __init__(self, window_start: float, window_end: float):
+        if window_end <= window_start:
+            raise SimulationError(
+                f"empty measurement window [{window_start}, {window_end})"
+            )
+        self.window_start = float(window_start)
+        self.window_end = float(window_end)
+        self._intervals: List[Tuple[float, float]] = []
+
+    def add_interval(self, start: float, end: float) -> None:
+        """Record one busy interval ``[start, end)`` (clipped to the window)."""
+        if end < start:
+            raise SimulationError(f"interval ends before it starts: [{start}, {end})")
+        clipped_start = max(start, self.window_start)
+        clipped_end = min(end, self.window_end)
+        if clipped_end > clipped_start:
+            self._intervals.append((clipped_start, clipped_end))
+
+    def add_intervals(self, intervals: Sequence[Tuple[float, float]]) -> None:
+        """Record a batch of busy intervals."""
+        for start, end in intervals:
+            self.add_interval(start, end)
+
+    @property
+    def window_length(self) -> float:
+        """Length of the measurement window in seconds."""
+        return self.window_end - self.window_start
+
+    def total_busy_time(self) -> float:
+        """Sum of clipped interval lengths (channel-seconds of bandwidth)."""
+        return sum(end - start for start, end in self._intervals)
+
+    def mean_concurrency(self) -> float:
+        """Time-weighted average number of simultaneously busy channels."""
+        return self.total_busy_time() / self.window_length
+
+    def max_concurrency(self) -> int:
+        """Peak number of simultaneously busy channels (endpoint sweep)."""
+        if not self._intervals:
+            return 0
+        # +1 at starts, -1 at ends; ends sort before starts at equal times so
+        # that back-to-back intervals do not double count.
+        points: List[Tuple[float, int]] = []
+        for start, end in self._intervals:
+            points.append((start, 1))
+            points.append((end, -1))
+        points.sort(key=lambda p: (p[0], p[1]))
+        level = 0
+        peak = 0
+        for _, delta in points:
+            level += delta
+            peak = max(peak, level)
+        return peak

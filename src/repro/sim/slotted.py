@@ -1,0 +1,186 @@
+"""Slot-synchronous simulation driver.
+
+Every slotted protocol in this reproduction (DHB, UD, dynamic NPB, and the
+fixed broadcasting schedules FB/NPB/SB) advances in slots of duration ``d``:
+requests arriving *during* slot ``i`` are granted a transmission schedule
+that starts at the beginning of slot ``i + 1`` — which is why ``d`` is also
+the maximum customer waiting time.
+
+:class:`SlottedSimulation` feeds arrival times to a protocol slot by slot and
+measures per-slot bandwidth.  A slot's load is final once every request from
+earlier slots has been processed (no protocol may schedule into the current
+or a past slot), so the driver records slot ``s`` just before delivering the
+arrivals of slot ``s``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from .recorder import SlotLoadRecorder
+from .stats import OnlineStats
+
+
+class SlottedModel(abc.ABC):
+    """Interface the slotted driver requires of a protocol.
+
+    Implementations live in :mod:`repro.core` (DHB) and
+    :mod:`repro.protocols` (FB, NPB, SB, UD, dynamic NPB).
+    """
+
+    @abc.abstractmethod
+    def handle_request(self, slot: int) -> None:
+        """Admit a request that arrived during ``slot``.
+
+        The protocol must arrange for every segment to reach this client on
+        time, scheduling transmissions into slots ``>= slot + 1`` only.
+        """
+
+    @abc.abstractmethod
+    def slot_load(self, slot: int) -> int:
+        """Number of segment instances transmitted during ``slot``.
+
+        Each instance occupies one data stream of the video consumption rate
+        for the whole slot, so this *is* the instantaneous server bandwidth
+        in units of ``b``.
+        """
+
+    def release_before(self, slot: int) -> None:
+        """Allow the protocol to drop bookkeeping for slots ``< slot``.
+
+        Optional; the default keeps everything (fine for short runs).
+        """
+
+    def slot_weight(self, slot: int) -> float:
+        """Weighted load of ``slot``; defaults to the instance count.
+
+        Protocols carrying per-segment byte sizes (the compressed-video DHB
+        variants) override this so the driver can account *transmitted
+        bytes* per slot alongside occupied streams.
+        """
+        return float(self.slot_load(slot))
+
+
+@dataclass
+class SlottedResult:
+    """Outcome of one slotted simulation run.
+
+    Bandwidths are in units of the video consumption rate ``b`` (i.e. data
+    streams), exactly as in Figures 7 and 8 of the paper.
+    """
+
+    slot_duration: float
+    slots_measured: int
+    mean_streams: float
+    max_streams: float
+    n_requests: int
+    mean_wait: float
+    max_wait: float
+    mean_weight: float = 0.0
+    max_weight: float = 0.0
+    series: List[int] = field(default_factory=list)
+
+    def scaled_mean(self, stream_bandwidth: float) -> float:
+        """Mean server bandwidth when each stream carries ``stream_bandwidth``.
+
+        Used by the compressed-video experiment (Figure 9), where bandwidth
+        is reported in bytes/second rather than stream counts.
+        """
+        return self.mean_streams * stream_bandwidth
+
+    def scaled_max(self, stream_bandwidth: float) -> float:
+        """Peak server bandwidth when each stream carries ``stream_bandwidth``."""
+        return self.max_streams * stream_bandwidth
+
+
+class SlottedSimulation:
+    """Drives a :class:`SlottedModel` over a request trace.
+
+    Parameters
+    ----------
+    protocol:
+        The slotted protocol under test.
+    slot_duration:
+        Slot length ``d`` in seconds.
+    horizon_slots:
+        Total number of slots to simulate (including warmup).
+    warmup_slots:
+        Initial slots excluded from bandwidth statistics.
+    keep_series:
+        Keep the per-slot load series on the result (memory grows linearly).
+    """
+
+    def __init__(
+        self,
+        protocol: SlottedModel,
+        slot_duration: float,
+        horizon_slots: int,
+        warmup_slots: int = 0,
+        keep_series: bool = False,
+    ):
+        if slot_duration <= 0:
+            raise ConfigurationError(f"slot_duration must be > 0, got {slot_duration}")
+        if horizon_slots <= warmup_slots:
+            raise ConfigurationError(
+                f"horizon_slots ({horizon_slots}) must exceed warmup_slots "
+                f"({warmup_slots})"
+            )
+        self.protocol = protocol
+        self.slot_duration = float(slot_duration)
+        self.horizon_slots = int(horizon_slots)
+        self.warmup_slots = int(warmup_slots)
+        self.keep_series = keep_series
+
+    def run(self, arrival_times: Sequence[float]) -> SlottedResult:
+        """Simulate the protocol over ``arrival_times`` (seconds, sorted).
+
+        Arrivals beyond the horizon are ignored.  Returns the measured
+        bandwidth and waiting-time statistics.
+        """
+        d = self.slot_duration
+        recorder = SlotLoadRecorder(self.warmup_slots, keep_series=self.keep_series)
+        weight_stats = OnlineStats()
+        waits: List[float] = []
+        previous = -math.inf
+        arrival_index = 0
+        arrivals = list(arrival_times)
+        n_arrivals = len(arrivals)
+
+        for slot in range(self.horizon_slots):
+            # All requests from slots < slot have been processed, so the load
+            # of `slot` is final: no future request may touch it.
+            recorder.record(slot, self.protocol.slot_load(slot))
+            if slot >= self.warmup_slots:
+                weight_stats.add(self.protocol.slot_weight(slot))
+            self.protocol.release_before(slot)
+
+            slot_end = (slot + 1) * d
+            while arrival_index < n_arrivals and arrivals[arrival_index] < slot_end:
+                t = arrivals[arrival_index]
+                if t < previous:
+                    raise SimulationError("arrival times must be sorted")
+                previous = t
+                if t >= slot * d:  # ignore arrivals before the simulated epoch
+                    self.protocol.handle_request(slot)
+                    if slot >= self.warmup_slots:
+                        # Service begins at the next slot boundary.
+                        waits.append(slot_end - t)
+                arrival_index += 1
+
+        measured_requests = len(waits)
+        return SlottedResult(
+            slot_duration=d,
+            slots_measured=recorder.slots_measured,
+            mean_streams=recorder.mean_load,
+            max_streams=recorder.max_load,
+            n_requests=measured_requests,
+            mean_wait=sum(waits) / measured_requests if measured_requests else 0.0,
+            max_wait=max(waits) if waits else 0.0,
+            mean_weight=weight_stats.mean,
+            max_weight=weight_stats.maximum if weight_stats.count else 0.0,
+            series=recorder.series,
+        )

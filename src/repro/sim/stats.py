@@ -1,0 +1,172 @@
+"""Online statistics used by the measurement layer.
+
+Three tools live here:
+
+* :class:`OnlineStats` — Welford-style running mean/variance/min/max over
+  discrete observations (e.g. per-slot stream counts).
+* :class:`TimeWeightedStats` — time-weighted mean and maximum of a piecewise-
+  constant signal (e.g. the number of concurrently active streams in the
+  continuous-time simulators).
+* :func:`batch_means_ci` — a batch-means confidence interval for steady-state
+  simulation output, used by the experiment runner to report uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import SimulationError
+
+
+class OnlineStats:
+    """Running count/mean/variance/min/max over scalar observations.
+
+    Uses Welford's algorithm, so it is numerically stable for long runs.
+
+    >>> s = OnlineStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     s.add(x)
+    >>> s.mean, s.minimum, s.maximum
+    (2.0, 1.0, 3.0)
+    """
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Incorporate a batch of observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (+inf when empty, mirroring ``min`` of nothing)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (-inf when empty)."""
+        return self._max
+
+
+class TimeWeightedStats:
+    """Time-weighted mean/max of a piecewise-constant signal.
+
+    Call :meth:`update` whenever the signal changes level; the previous level
+    is weighted by the elapsed time.  Call :meth:`finish` (or read the
+    properties after a final :meth:`update`) at the measurement horizon.
+
+    >>> s = TimeWeightedStats(start_time=0.0, level=0.0)
+    >>> s.update(10.0, 2.0)   # level was 0 during [0, 10), becomes 2
+    >>> s.update(30.0, 0.0)   # level was 2 during [10, 30)
+    >>> s.finish(40.0)
+    >>> s.mean
+    1.0
+    >>> s.maximum
+    2.0
+    """
+
+    def __init__(self, start_time: float = 0.0, level: float = 0.0):
+        self._last_time = float(start_time)
+        self._level = float(level)
+        self._weighted_sum = 0.0
+        self._duration = 0.0
+        self._max = float(level)
+
+    @property
+    def level(self) -> float:
+        """Current level of the signal."""
+        return self._level
+
+    def update(self, time: float, new_level: float) -> None:
+        """Record that the signal changes to ``new_level`` at ``time``."""
+        if time < self._last_time:
+            raise SimulationError(
+                f"time-weighted update moved backwards: {time} < {self._last_time}"
+            )
+        self._weighted_sum += self._level * (time - self._last_time)
+        self._duration += time - self._last_time
+        self._last_time = time
+        self._level = float(new_level)
+        self._max = max(self._max, self._level)
+
+    def add_delta(self, time: float, delta: float) -> None:
+        """Convenience: shift the current level by ``delta`` at ``time``."""
+        self.update(time, self._level + delta)
+
+    def finish(self, time: float) -> None:
+        """Close the measurement window at ``time`` (level is kept)."""
+        self.update(time, self._level)
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean over the observed window (0.0 if no time passed)."""
+        return self._weighted_sum / self._duration if self._duration > 0 else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest level ever held (including the initial level)."""
+        return self._max
+
+    @property
+    def duration(self) -> float:
+        """Total observed duration."""
+        return self._duration
+
+
+def batch_means_ci(
+    observations: Sequence[float], n_batches: int = 10, z: float = 1.96
+) -> Tuple[float, float]:
+    """Batch-means estimate ``(mean, half_width)`` for steady-state output.
+
+    Splits ``observations`` (assumed post-warmup) into ``n_batches``
+    contiguous batches, treats batch means as approximately independent, and
+    returns the grand mean with a normal-theory half width.
+
+    >>> mean, hw = batch_means_ci([1.0] * 100)
+    >>> (mean, hw)
+    (1.0, 0.0)
+    """
+    if n_batches < 2:
+        raise SimulationError("batch means needs at least 2 batches")
+    n = len(observations)
+    if n < n_batches:
+        raise SimulationError(f"{n} observations cannot fill {n_batches} batches")
+    batch_size = n // n_batches
+    means: List[float] = []
+    for b in range(n_batches):
+        batch = observations[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(batch) / len(batch))
+    grand = sum(means) / n_batches
+    var = sum((m - grand) ** 2 for m in means) / (n_batches - 1)
+    half_width = z * math.sqrt(var / n_batches)
+    return grand, half_width

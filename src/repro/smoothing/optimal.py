@@ -1,0 +1,173 @@
+"""Optimal (buffer-constrained, minimum-peak) smoothing — Salehi et al.
+
+Section 4 attributes the work-ahead idea to "smoothing by work-ahead"
+[Salehi, Zhang, Kurose & Towsley, SIGMETRICS 1996].  DHB-c only needs the
+*constant-rate* special case (:mod:`repro.smoothing.workahead`), but the full
+algorithm — the minimum-peak-rate piecewise-constant transmission plan that
+respects a finite client buffer — is the natural extension the paper's
+future-work section points at ("reduce or eliminate bandwidth peaks"), so we
+implement it too.
+
+The algorithm is the classic funnel walk: maintain the cone of cumulative-
+transmission slopes that keep the line from the current anchor between the
+underflow curve ``L`` (data must arrive before it is played) and the overflow
+curve ``U`` (data must not overrun the client buffer).  When the cone closes,
+commit a linear piece at the binding slope, ending at the point where that
+constraint pinched, and restart the cone there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import SmoothingError
+from ..video.vbr import VBRVideo
+
+
+@dataclass(frozen=True)
+class SmoothingPiece:
+    """One constant-rate piece of a smoothed transmission plan.
+
+    ``start``/``end`` are reception-timeline seconds; ``rate`` is bytes/s.
+    """
+
+    start: float
+    end: float
+    rate: float
+
+
+@dataclass(frozen=True)
+class SmoothingSchedule:
+    """A piecewise-constant transmission plan.
+
+    Attributes
+    ----------
+    pieces:
+        The constant-rate pieces, contiguous and in order.
+    peak_rate:
+        Largest piece rate (the quantity optimal smoothing minimises).
+    """
+
+    pieces: List[SmoothingPiece]
+    peak_rate: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes transmitted by the whole plan."""
+        return sum((p.end - p.start) * p.rate for p in self.pieces)
+
+    def cumulative_at(self, time: float) -> float:
+        """Cumulative bytes transmitted by reception ``time``."""
+        total = 0.0
+        for piece in self.pieces:
+            if time <= piece.start:
+                break
+            total += (min(time, piece.end) - piece.start) * piece.rate
+        return total
+
+
+def optimal_smoothing_schedule(
+    video: VBRVideo, buffer_bytes: float, startup_delay: float
+) -> SmoothingSchedule:
+    """Minimum-peak-rate transmission plan under a client buffer bound.
+
+    Parameters
+    ----------
+    video:
+        The VBR video to smooth.
+    buffer_bytes:
+        Client set-top-box buffer capacity in bytes.
+    startup_delay:
+        Seconds between reception start and playout start.
+
+    Returns
+    -------
+    SmoothingSchedule
+        A feasible plan whose cumulative curve stays within
+        ``[L(t), U(t)] = [C(t - delay), C(t - delay) + buffer]`` and whose
+        peak rate is minimal among all such plans at one-second granularity.
+
+    Raises
+    ------
+    SmoothingError
+        If the buffer cannot absorb the largest one-second burst (no
+        per-second-granularity plan exists then).
+    """
+    if buffer_bytes <= 0:
+        raise SmoothingError(f"buffer must be > 0 bytes, got {buffer_bytes}")
+    if startup_delay < 0:
+        raise SmoothingError(f"startup delay must be >= 0, got {startup_delay}")
+
+    per_second = np.asarray(video.bytes_per_second)
+    if buffer_bytes < float(per_second.max()) * (1.0 - 1e-12):
+        raise SmoothingError(
+            "buffer smaller than the largest one-second burst; "
+            "no per-second-granularity plan can avoid underflow"
+        )
+    consumption = np.concatenate(([0.0], np.cumsum(per_second)))
+    duration = len(per_second)
+    horizon = duration + startup_delay
+
+    # Envelopes sampled at 1-second reception-time boundaries.  The lower
+    # envelope at reception time t is the data played out by t; the upper is
+    # lower + buffer, capped at the total size (no point sending more).  Both
+    # meet at (horizon, total) so the plan delivers exactly the video.
+    times = np.arange(0.0, np.floor(horizon) + 1.0)
+    if times[-1] < horizon - 1e-12:
+        times = np.append(times, horizon)
+    total = float(consumption[-1])
+    lower = np.array([video.cumulative_bytes(t - startup_delay) for t in times])
+    upper = np.minimum(lower + buffer_bytes, total)
+    lower[-1] = total
+    upper[-1] = total
+
+    pieces: List[SmoothingPiece] = []
+    last = len(times) - 1
+    anchor_i, anchor_y = 0, 0.0
+    while anchor_i < last:
+        cone_min, cone_max = -np.inf, np.inf
+        min_pinch = (anchor_i, anchor_y)  # where the underflow bound last bit
+        max_pinch = (anchor_i, anchor_y)  # where the overflow bound last bit
+        i = anchor_i + 1
+        committed = False
+        while i <= last:
+            dt = times[i] - times[anchor_i]
+            need = (lower[i] - anchor_y) / dt
+            allow = (upper[i] - anchor_y) / dt
+            if need > cone_max:
+                # Underflow forces a slope above what overflow permits:
+                # commit the flattest legal piece up to the overflow pinch.
+                pieces.append(
+                    SmoothingPiece(times[anchor_i], times[max_pinch[0]], cone_max)
+                )
+                anchor_i, anchor_y = max_pinch
+                committed = True
+                break
+            if allow < cone_min:
+                # Overflow forces a slope below what underflow requires:
+                # commit the steepest legal piece up to the underflow pinch.
+                pieces.append(
+                    SmoothingPiece(times[anchor_i], times[min_pinch[0]], cone_min)
+                )
+                anchor_i, anchor_y = min_pinch
+                committed = True
+                break
+            if need >= cone_min:
+                cone_min = need
+                min_pinch = (i, lower[i])
+            if allow <= cone_max:
+                cone_max = allow
+                max_pinch = (i, upper[i])
+            i += 1
+        if not committed:
+            # Reached the horizon inside the cone: a single straight piece
+            # from the anchor to (horizon, total) is feasible everywhere.
+            final_slope = (total - anchor_y) / (times[last] - times[anchor_i])
+            pieces.append(SmoothingPiece(times[anchor_i], times[last], final_slope))
+            break
+
+    peak = max(piece.rate for piece in pieces)
+    return SmoothingSchedule(pieces=pieces, peak_rate=peak)

@@ -1,0 +1,124 @@
+"""Packing smoothed video data into equal-duration segments (DHB-c).
+
+Once the video is transmitted at a constant work-ahead rate ``r``, each slot
+of duration ``d`` carries exactly ``r * d`` bytes — usually *more* than one
+slot's worth of playout.  The 137 playout segments of the paper's example
+therefore pack into fewer transmission segments (129 in the paper), and
+"so much data would be received ahead of time that the bandwidth peaks
+occurring later in the video would be completely buffered".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SmoothingError
+from ..video.model import Video
+from .workahead import minimum_workahead_rate
+
+
+@dataclass(frozen=True)
+class PackedSegments:
+    """The video's bytes packed into constant-size transmission segments.
+
+    Attributes
+    ----------
+    video:
+        The underlying video.
+    rate:
+        Constant stream rate ``r`` in bytes/second.
+    slot_duration:
+        Slot length ``d`` in seconds (also the startup delay).
+    n_segments:
+        Number of packed transmission segments.
+    first_byte_playout_times:
+        ``first_byte_playout_times[j]`` is the playout time (seconds from
+        playout start) at which the first byte of packed segment ``j+1``
+        is consumed.  Segment 1 always starts at 0.0.
+    """
+
+    video: Video
+    rate: float
+    slot_duration: float
+    n_segments: int
+    first_byte_playout_times: List[float]
+
+    @property
+    def bytes_per_segment(self) -> float:
+        """Payload of one packed segment: ``rate * slot_duration`` bytes."""
+        return self.rate * self.slot_duration
+
+
+def pack_video(
+    video: Video, slot_duration: float, rate: float = 0.0
+) -> PackedSegments:
+    """Pack ``video`` into equal-duration segments at a work-ahead rate.
+
+    Parameters
+    ----------
+    video:
+        The video to pack.
+    slot_duration:
+        Slot length ``d`` (= startup delay = maximum waiting time).
+    rate:
+        Stream rate in bytes/second.  0 (the default) selects the minimum
+        feasible work-ahead rate — the paper's solution DHB-c.
+
+    Raises
+    ------
+    SmoothingError
+        If an explicit ``rate`` is below the minimum feasible rate.
+
+    Examples
+    --------
+    A CBR video of 100 s with d = 10 s: the minimum work-ahead rate spreads
+    the 100 bytes across the whole (D + d) = 110 s reception window, which
+    is 11 chunks of 10/11 bytes each:
+
+    >>> from ..video.model import CBRVideo
+    >>> packed = pack_video(CBRVideo(duration=100.0, rate=1.0), 10.0)
+    >>> packed.n_segments
+    11
+    >>> round(packed.rate, 6)
+    0.909091
+    """
+    if slot_duration <= 0:
+        raise SmoothingError(f"slot duration must be > 0, got {slot_duration}")
+    minimum_rate = minimum_workahead_rate(video, startup_delay=slot_duration)
+    if rate <= 0:
+        rate = minimum_rate
+    elif rate < minimum_rate * (1 - 1e-9):
+        raise SmoothingError(
+            f"rate {rate} below minimum feasible work-ahead rate {minimum_rate}"
+        )
+    bytes_per_segment = rate * slot_duration
+    n_segments = int(math.ceil(video.total_bytes / bytes_per_segment - 1e-9))
+    first_bytes = [j * bytes_per_segment for j in range(n_segments)]
+    playout_times = [_playout_time(video, offset) for offset in first_bytes]
+    return PackedSegments(
+        video=video,
+        rate=rate,
+        slot_duration=slot_duration,
+        n_segments=n_segments,
+        first_byte_playout_times=playout_times,
+    )
+
+
+def _playout_time(video: Video, byte_offset: float) -> float:
+    """Earliest playout time at which ``byte_offset`` cumulative bytes are needed."""
+    inverse = getattr(video, "playout_time_for_bytes", None)
+    if inverse is not None:
+        return float(inverse(byte_offset))
+    # Generic fallback: bisection on the cumulative curve.
+    if byte_offset <= 0:
+        return 0.0
+    low, high = 0.0, video.duration
+    for _ in range(64):
+        mid = (low + high) / 2.0
+        if video.cumulative_bytes(mid) < byte_offset:
+            low = mid
+        else:
+            high = mid
+    return high

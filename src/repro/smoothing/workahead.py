@@ -1,0 +1,87 @@
+"""Constant-rate work-ahead smoothing.
+
+Solution DHB-c of the paper makes "continuous use of all that bandwidth so
+that each one-minute segment would normally contain more than one minute of
+video data" — i.e. the server transmits at a constant rate ``r`` from the
+moment the client's reception starts, and playout begins one slot (``d``
+seconds) later.  Delivery is on time iff the cumulative transmission curve
+``r * t`` never falls below the cumulative consumption curve shifted by the
+startup delay.
+
+The minimum feasible constant rate is therefore::
+
+    r_min = max over t in (0, D] of  C(t) / (t + w)
+
+where ``C`` is cumulative consumption and ``w`` the startup delay (one slot
+for DHB).  We evaluate the maximum at per-second playout boundaries, which is
+exact for traces that are piecewise-constant per second (each second's
+constraint is tightest at its end because ``C`` is concave-or-linear within
+the second while the denominator grows linearly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SmoothingError
+from ..video.model import Video
+from ..video.vbr import VBRVideo
+
+
+def minimum_workahead_rate(video: Video, startup_delay: float) -> float:
+    """Minimum constant transmission rate for on-time playout.
+
+    Parameters
+    ----------
+    video:
+        The video to smooth.
+    startup_delay:
+        Seconds between reception start and playout start (``d`` for DHB).
+
+    Returns
+    -------
+    float
+        The smallest rate ``r`` (bytes/second) with
+        ``r * (t + startup_delay) >= C(t)`` for all playout times ``t``.
+
+    Examples
+    --------
+    A CBR video needs slightly less than its consumption rate, because the
+    startup delay buys slack:
+
+    >>> from ..video.model import CBRVideo
+    >>> r = minimum_workahead_rate(CBRVideo(duration=100.0, rate=1.0), 10.0)
+    >>> round(r, 6)
+    0.909091
+    """
+    if startup_delay < 0:
+        raise SmoothingError(f"startup delay must be >= 0, got {startup_delay}")
+    if isinstance(video, VBRVideo):
+        cumulative = np.cumsum(np.asarray(video.bytes_per_second))
+        times = np.arange(1, len(cumulative) + 1, dtype=float)
+        rates = cumulative / (times + startup_delay)
+        rate = float(rates.max())
+    else:
+        # Generic videos: sample the constraint at one-second boundaries plus
+        # the exact end of the video.
+        duration = video.duration
+        times = list(np.arange(1.0, duration, 1.0)) + [duration]
+        rate = max(video.cumulative_bytes(t) / (t + startup_delay) for t in times)
+    if rate <= 0:
+        raise SmoothingError("video consumes no data; nothing to smooth")
+    return rate
+
+
+def is_rate_feasible(video: Video, rate: float, startup_delay: float) -> bool:
+    """Whether constant ``rate`` delivers every byte of ``video`` on time.
+
+    >>> from ..video.model import CBRVideo
+    >>> is_rate_feasible(CBRVideo(duration=100.0, rate=1.0), 1.0, 0.0)
+    True
+    >>> is_rate_feasible(CBRVideo(duration=100.0, rate=1.0), 0.5, 0.0)
+    False
+    """
+    if rate <= 0:
+        return False
+    tolerance = 1e-9 * max(rate, 1.0)
+    return bool(rate + tolerance >= minimum_workahead_rate(video, startup_delay))

@@ -1,0 +1,35 @@
+"""Video models.
+
+* :mod:`repro.video.model` — constant-bit-rate videos (the Figures 7/8 world,
+  where bandwidth is measured in multiples of the consumption rate ``b``).
+* :mod:`repro.video.vbr` — variable-bit-rate videos as per-second byte
+  traces, with the statistics Section 4 of the paper quotes (average
+  bandwidth, maximum bandwidth over one second).
+* :mod:`repro.video.mpeg` — a seeded synthetic MPEG-style VBR trace
+  generator (GOP structure + scene-level modulation).
+* :mod:`repro.video.matrix` — a generated trace *calibrated* to the paper's
+  published statistics for the DVD of *The Matrix* (8170 s, average
+  636 KB/s, 1-second peak 951 KB/s).  See DESIGN.md, substitutions.
+* :mod:`repro.video.segmentation` — equal-duration segmentation and
+  per-segment bandwidth analysis (the DHB-a/b inputs).
+"""
+
+from .matrix import MATRIX_AVG_KBPS, MATRIX_DURATION, MATRIX_PEAK_KBPS, matrix_like_video
+from .model import CBRVideo, Video
+from .mpeg import MPEGConfig, generate_mpeg_trace
+from .segmentation import SegmentedVideo, segment_video
+from .vbr import VBRVideo
+
+__all__ = [
+    "CBRVideo",
+    "MATRIX_AVG_KBPS",
+    "MATRIX_DURATION",
+    "MATRIX_PEAK_KBPS",
+    "MPEGConfig",
+    "SegmentedVideo",
+    "VBRVideo",
+    "Video",
+    "generate_mpeg_trace",
+    "matrix_like_video",
+    "segment_video",
+]

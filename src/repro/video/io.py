@@ -1,0 +1,70 @@
+"""Trace persistence: save/load per-second byte traces.
+
+Lets users substitute their own measured VBR traces (e.g. a real DVD rip)
+for the synthetic one — the "apply our DHB protocol to other videos" avenue
+of the paper's future work.  The format is deliberately trivial: one byte
+count per line, with ``#``-prefixed header comments.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import VideoModelError
+from .vbr import VBRVideo
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace(video: VBRVideo, path: PathLike) -> None:
+    """Write ``video``'s per-second trace to ``path``.
+
+    >>> import tempfile, os
+    >>> video = VBRVideo([10.0, 20.0], name="demo")
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     target = os.path.join(tmp, "demo.trace")
+    ...     save_trace(video, target)
+    ...     load_trace(target).total_bytes
+    30.0
+    """
+    path = pathlib.Path(path)
+    lines: List[str] = [
+        f"# name: {video.name}",
+        f"# duration_seconds: {int(video.duration)}",
+        "# format: one bytes-per-second value per line",
+    ]
+    lines.extend(f"{value:.6f}" for value in video.bytes_per_second)
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path: PathLike, name: str = "") -> VBRVideo:
+    """Read a per-second trace written by :func:`save_trace`.
+
+    Header comments are optional; any ``#`` line is skipped.  Raises
+    :class:`~repro.errors.VideoModelError` on malformed content.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise VideoModelError(f"trace file {path} does not exist")
+    parsed_name = name
+    values: List[float] = []
+    for line_number, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not parsed_name and line[1:].strip().startswith("name:"):
+                parsed_name = line.split("name:", 1)[1].strip()
+            continue
+        try:
+            values.append(float(line))
+        except ValueError:
+            raise VideoModelError(
+                f"{path}:{line_number}: not a number: {line!r}"
+            ) from None
+    if not values:
+        raise VideoModelError(f"trace file {path} holds no samples")
+    return VBRVideo(np.asarray(values), name=parsed_name or path.stem)

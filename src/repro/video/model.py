@@ -1,0 +1,91 @@
+"""Base video abstractions.
+
+The broadcasting protocols only ever need two things from a video: its
+duration and how many bytes each moment of playout consumes.  For the
+constant-bit-rate experiments (Figures 7 and 8) the consumption rate is a
+pure scale factor, so :class:`CBRVideo` defaults to ``rate = 1.0`` and all
+bandwidths read directly in "multiples of the consumption rate ``b``" — the
+exact unit of those figures.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import VideoModelError
+from ..units import TWO_HOURS
+
+
+class Video(abc.ABC):
+    """A video a VOD server can distribute."""
+
+    @property
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Playback duration ``D`` in seconds."""
+
+    @property
+    @abc.abstractmethod
+    def total_bytes(self) -> float:
+        """Total payload size in bytes (abstract units for CBR)."""
+
+    @abc.abstractmethod
+    def cumulative_bytes(self, playout_time: float) -> float:
+        """Bytes consumed by playout after ``playout_time`` seconds.
+
+        Monotone non-decreasing, 0 at ``playout_time <= 0`` and
+        :attr:`total_bytes` at ``playout_time >= duration``.
+        """
+
+    @property
+    def average_bandwidth(self) -> float:
+        """Long-run consumption rate in bytes/second."""
+        return self.total_bytes / self.duration
+
+
+class CBRVideo(Video):
+    """Constant-bit-rate video: ``rate`` bytes consumed per second.
+
+    Parameters
+    ----------
+    duration:
+        Playback duration in seconds (default: the canonical two-hour video
+        of the paper's evaluation).
+    rate:
+        Consumption rate ``b`` in bytes/second; defaults to 1.0 so that
+        bandwidths are reported in multiples of ``b``.
+
+    Examples
+    --------
+    >>> video = CBRVideo(duration=7200.0)
+    >>> video.cumulative_bytes(3600.0)
+    3600.0
+    """
+
+    def __init__(self, duration: float = TWO_HOURS, rate: float = 1.0):
+        if duration <= 0:
+            raise VideoModelError(f"duration must be > 0, got {duration}")
+        if rate <= 0:
+            raise VideoModelError(f"rate must be > 0, got {rate}")
+        self._duration = float(duration)
+        self._rate = float(rate)
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    @property
+    def rate(self) -> float:
+        """Consumption rate ``b`` in bytes/second."""
+        return self._rate
+
+    @property
+    def total_bytes(self) -> float:
+        return self._duration * self._rate
+
+    def cumulative_bytes(self, playout_time: float) -> float:
+        clamped = min(max(playout_time, 0.0), self._duration)
+        return clamped * self._rate
+
+    def __repr__(self) -> str:
+        return f"CBRVideo(duration={self._duration}, rate={self._rate})"

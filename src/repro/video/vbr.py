@@ -1,0 +1,124 @@
+"""Variable-bit-rate videos as per-second byte traces.
+
+Section 4 of the paper characterises a compressed video by exactly two
+statistics of its byte schedule — the average bandwidth and the maximum
+bandwidth over a period of one second — and by the per-segment byte totals
+that derive from it.  A per-second byte trace captures everything those
+computations need, so :class:`VBRVideo` stores one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import VideoModelError
+from .model import Video
+
+
+class VBRVideo(Video):
+    """A VBR video backed by a per-second byte trace.
+
+    Parameters
+    ----------
+    bytes_per_second:
+        ``bytes_per_second[k]`` is the number of bytes consumed by playout
+        during second ``[k, k+1)``.  The video's duration is the trace
+        length.
+    name:
+        Optional label used in reports.
+
+    Examples
+    --------
+    >>> video = VBRVideo([100.0, 300.0, 200.0])
+    >>> video.duration
+    3.0
+    >>> video.peak_bandwidth()
+    300.0
+    >>> video.cumulative_bytes(1.5)
+    250.0
+    """
+
+    def __init__(self, bytes_per_second: Sequence[float], name: str = "vbr"):
+        trace = np.asarray(bytes_per_second, dtype=float)
+        if trace.ndim != 1 or len(trace) == 0:
+            raise VideoModelError("trace must be a non-empty 1-D sequence")
+        if np.any(trace < 0):
+            raise VideoModelError("trace contains negative byte counts")
+        if float(trace.sum()) <= 0:
+            raise VideoModelError("trace carries no data")
+        self._trace = trace
+        self._cumulative = np.concatenate(([0.0], np.cumsum(trace)))
+        self.name = name
+
+    @property
+    def bytes_per_second(self) -> np.ndarray:
+        """The underlying per-second byte trace (read-only view)."""
+        view = self._trace.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def duration(self) -> float:
+        return float(len(self._trace))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self._cumulative[-1])
+
+    def peak_bandwidth(self, window_seconds: int = 1) -> float:
+        """Maximum bytes/second over any window of ``window_seconds``.
+
+        ``window_seconds=1`` is the paper's "maximum bandwidth over a period
+        of one second".
+        """
+        if window_seconds < 1 or window_seconds > len(self._trace):
+            raise VideoModelError(
+                f"window must be in [1, {len(self._trace)}], got {window_seconds}"
+            )
+        sums = self._cumulative[window_seconds:] - self._cumulative[:-window_seconds]
+        return float(sums.max()) / window_seconds
+
+    def cumulative_bytes(self, playout_time: float) -> float:
+        """Bytes consumed by ``playout_time``, linear within each second."""
+        t = min(max(playout_time, 0.0), self.duration)
+        whole = int(math.floor(t))
+        base = float(self._cumulative[whole])
+        if whole >= len(self._trace):
+            return base
+        return base + (t - whole) * float(self._trace[whole])
+
+    def playout_time_for_bytes(self, byte_offset: float) -> float:
+        """Inverse of :meth:`cumulative_bytes`: when is byte ``byte_offset`` needed.
+
+        Returns the earliest playout time at which cumulative consumption
+        reaches ``byte_offset``.  Clamps to ``[0, duration]``.
+        """
+        if byte_offset <= 0:
+            return 0.0
+        if byte_offset >= self.total_bytes:
+            return self.duration
+        idx = int(np.searchsorted(self._cumulative, byte_offset, side="left")) - 1
+        idx = max(idx, 0)
+        within = byte_offset - float(self._cumulative[idx])
+        rate = float(self._trace[idx])
+        if rate <= 0:
+            # The byte is first consumed at the start of the next busy second.
+            while idx < len(self._trace) and self._trace[idx] <= 0:
+                idx += 1
+            return float(idx)
+        return idx + within / rate
+
+    def scaled(self, factor: float, name: str = "") -> "VBRVideo":
+        """Return a copy with every byte count multiplied by ``factor``."""
+        if factor <= 0:
+            raise VideoModelError(f"scale factor must be > 0, got {factor}")
+        return VBRVideo(self._trace * factor, name=name or f"{self.name}*{factor}")
+
+    def __repr__(self) -> str:
+        return (
+            f"VBRVideo(name={self.name!r}, duration={self.duration:.0f}s, "
+            f"avg={self.average_bandwidth:.1f} B/s, peak={self.peak_bandwidth():.1f} B/s)"
+        )

@@ -1,0 +1,39 @@
+"""Workload generation: arrival processes, request streams, popularity models.
+
+The paper's evaluation assumes Poisson request arrivals for a single video
+(Section 3: "requests for a particular video were distributed according to a
+Poisson law").  Its introduction, however, motivates the whole design with
+*time-varying* demand — child-oriented fare peaking in daytime, adult fare at
+night — so this package also ships a non-homogeneous Poisson process with
+diurnal rate profiles and a Zipf catalog popularity model for multi-video
+studies.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    NonHomogeneousPoisson,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from .diurnal import DiurnalProfile, adult_evening_profile, child_daytime_profile
+from .flash import FlashCrowd
+from .popularity import ZipfCatalog
+from .requests import Request, requests_from_times
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "DiurnalProfile",
+    "FlashCrowd",
+    "MMPPArrivals",
+    "NonHomogeneousPoisson",
+    "PoissonArrivals",
+    "Request",
+    "TraceArrivals",
+    "ZipfCatalog",
+    "adult_evening_profile",
+    "child_daytime_profile",
+    "requests_from_times",
+]

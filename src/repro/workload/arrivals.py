@@ -1,0 +1,230 @@
+"""Request arrival processes.
+
+All processes generate sorted arrival times in seconds over ``[0, horizon)``.
+They draw from a caller-supplied :class:`numpy.random.Generator`, which the
+experiment layer obtains from :class:`repro.sim.rng.RandomStreams` — the same
+seed therefore reproduces the same workload for every protocol in a sweep
+(common random numbers, the variance-reduction discipline the comparisons
+rely on).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import HOUR
+
+
+class ArrivalProcess(abc.ABC):
+    """Base class for arrival-time generators."""
+
+    @abc.abstractmethod
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        """Return sorted arrival times (seconds) in ``[0, horizon)``."""
+
+    @staticmethod
+    def _check_horizon(horizon: float) -> None:
+        if horizon <= 0:
+            raise WorkloadError(f"horizon must be > 0, got {horizon}")
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process — the paper's workload model.
+
+    Parameters
+    ----------
+    rate_per_hour:
+        Request arrival rate λ, in arrivals per hour (the unit of the x-axes
+        of Figures 7–9).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> process = PoissonArrivals(rate_per_hour=60.0)
+    >>> times = process.generate(3600.0, np.random.default_rng(0))
+    >>> bool(np.all(np.diff(times) >= 0))
+    True
+    """
+
+    def __init__(self, rate_per_hour: float):
+        if rate_per_hour < 0:
+            raise WorkloadError(f"rate must be >= 0, got {rate_per_hour}")
+        self.rate_per_hour = float(rate_per_hour)
+
+    @property
+    def rate_per_second(self) -> float:
+        """λ expressed per second."""
+        return self.rate_per_hour / HOUR
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        lam = self.rate_per_second
+        if lam == 0:
+            return np.empty(0)
+        expected = lam * horizon
+        # Draw in chunks of exponential gaps until the horizon is crossed.
+        times: List[np.ndarray] = []
+        total = 0.0
+        remaining = horizon
+        while remaining > 0:
+            chunk = max(int(lam * remaining * 1.1) + 16, 16)
+            gaps = rng.exponential(1.0 / lam, size=chunk)
+            cumulative = total + np.cumsum(gaps)
+            inside = cumulative[cumulative < horizon]
+            times.append(inside)
+            if len(inside) < chunk:
+                break
+            total = float(cumulative[-1])
+            remaining = horizon - total
+        if not times:
+            return np.empty(0)
+        result = np.concatenate(times)
+        if expected > 0 and len(result) == 0 and expected > 50:
+            raise WorkloadError("Poisson generation produced no arrivals unexpectedly")
+        return result
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Evenly spaced arrivals — useful for worst-case and anchor tests.
+
+    The paper's bandwidth-peak argument ("slot 120! will contain one
+    transmission of every segment") assumes at least one arrival per slot;
+    this process realises exactly that workload.
+    """
+
+    def __init__(self, interval: float, offset: float = 0.0):
+        if interval <= 0:
+            raise WorkloadError(f"interval must be > 0, got {interval}")
+        if offset < 0:
+            raise WorkloadError(f"offset must be >= 0, got {offset}")
+        self.interval = float(interval)
+        self.offset = float(offset)
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return np.arange(self.offset, horizon, self.interval, dtype=float)
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a fixed list of arrival times (e.g. a recorded trace)."""
+
+    def __init__(self, times: Sequence[float]):
+        array = np.asarray(sorted(float(t) for t in times))
+        if len(array) and array[0] < 0:
+            raise WorkloadError("trace contains negative arrival times")
+        self.times = array
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return self.times[self.times < horizon]
+
+
+class NonHomogeneousPoisson(ArrivalProcess):
+    """Poisson process with a time-varying rate λ(t), by thinning.
+
+    Models the introduction's motivating scenario: demand for a given video
+    varies widely with the time of day.
+
+    Parameters
+    ----------
+    rate_fn:
+        Callable mapping time (seconds) to instantaneous rate (per hour).
+    max_rate_per_hour:
+        A bound with ``rate_fn(t) <= max_rate_per_hour`` for all ``t``;
+        violations raise :class:`~repro.errors.WorkloadError` when observed.
+    """
+
+    def __init__(self, rate_fn: Callable[[float], float], max_rate_per_hour: float):
+        if max_rate_per_hour <= 0:
+            raise WorkloadError(f"max rate must be > 0, got {max_rate_per_hour}")
+        self.rate_fn = rate_fn
+        self.max_rate_per_hour = float(max_rate_per_hour)
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        lam_max = self.max_rate_per_hour / HOUR
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / lam_max))
+            if t >= horizon:
+                break
+            rate = self.rate_fn(t)
+            if rate < 0 or rate > self.max_rate_per_hour * (1 + 1e-9):
+                raise WorkloadError(
+                    f"rate_fn({t}) = {rate} outside [0, {self.max_rate_per_hour}]"
+                )
+            if rng.random() < rate / self.max_rate_per_hour:
+                times.append(t)
+        return np.asarray(times)
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Markov-modulated Poisson process (bursty demand).
+
+    A two-state (or n-state) modulating chain switches the instantaneous
+    Poisson rate; useful for stress-testing the dynamic protocols with
+    correlated request bursts that a plain Poisson process cannot produce.
+
+    Parameters
+    ----------
+    rates_per_hour:
+        Arrival rate in each modulating state.
+    mean_sojourn:
+        Mean sojourn time (seconds) in each state (exponentially distributed).
+    """
+
+    def __init__(self, rates_per_hour: Sequence[float], mean_sojourn: Sequence[float]):
+        if len(rates_per_hour) != len(mean_sojourn) or not rates_per_hour:
+            raise WorkloadError("rates and sojourn times must be equal, non-empty")
+        if any(r < 0 for r in rates_per_hour):
+            raise WorkloadError("rates must be >= 0")
+        if any(s <= 0 for s in mean_sojourn):
+            raise WorkloadError("mean sojourn times must be > 0")
+        self.rates_per_hour = [float(r) for r in rates_per_hour]
+        self.mean_sojourn = [float(s) for s in mean_sojourn]
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        times: List[float] = []
+        state = int(rng.integers(0, len(self.rates_per_hour)))
+        t = 0.0
+        while t < horizon:
+            sojourn = float(rng.exponential(self.mean_sojourn[state]))
+            end = min(t + sojourn, horizon)
+            lam = self.rates_per_hour[state] / HOUR
+            if lam > 0:
+                u = t
+                while True:
+                    u += float(rng.exponential(1.0 / lam))
+                    if u >= end:
+                        break
+                    times.append(u)
+            t = end
+            state = (state + int(rng.integers(1, len(self.rates_per_hour)))) % len(
+                self.rates_per_hour
+            ) if len(self.rates_per_hour) > 1 else state
+        return np.asarray(times)
+
+
+def merge_arrivals(*streams: np.ndarray) -> np.ndarray:
+    """Merge several sorted arrival-time arrays into one sorted array."""
+    if not streams:
+        return np.empty(0)
+    merged = np.concatenate([np.asarray(s, dtype=float) for s in streams])
+    merged.sort(kind="mergesort")
+    return merged
+
+
+def expected_count(process: ArrivalProcess, horizon: float) -> float:
+    """Expected number of arrivals for processes with a known mean rate."""
+    if isinstance(process, PoissonArrivals):
+        return process.rate_per_second * horizon
+    if isinstance(process, DeterministicArrivals):
+        return max(0.0, math.floor((horizon - process.offset) / process.interval) + 1)
+    raise WorkloadError(f"no closed-form count for {type(process).__name__}")

@@ -1,0 +1,85 @@
+"""Flash-crowd (premiere) arrival model.
+
+A new release draws a surge of requests that decays over hours — the
+sharpest stress on any distribution protocol and the regime where fixed
+broadcasting (NPB) shines briefly before turning into waste.  The model is
+a non-homogeneous Poisson process with an exponentially decaying rate
+riding on a steady base::
+
+    lambda(t) = base + peak * exp(-t / decay)
+
+which composes directly with
+:class:`repro.workload.arrivals.NonHomogeneousPoisson`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import WorkloadError
+from .arrivals import NonHomogeneousPoisson
+
+
+class FlashCrowd(NonHomogeneousPoisson):
+    """Premiere surge: exponentially decaying request rate.
+
+    Parameters
+    ----------
+    peak_rate_per_hour:
+        Extra rate at the premiere instant (t = 0).
+    decay_hours:
+        e-folding time of the surge, in hours.
+    base_rate_per_hour:
+        Steady-state rate the title settles to.
+
+    Examples
+    --------
+    >>> crowd = FlashCrowd(peak_rate_per_hour=900.0, decay_hours=2.0,
+    ...                    base_rate_per_hour=10.0)
+    >>> round(crowd.rate_at(0.0))
+    910
+    >>> round(crowd.rate_at(2 * 3600.0))
+    341
+    """
+
+    def __init__(
+        self,
+        peak_rate_per_hour: float,
+        decay_hours: float,
+        base_rate_per_hour: float = 0.0,
+    ):
+        if peak_rate_per_hour < 0 or base_rate_per_hour < 0:
+            raise WorkloadError("rates must be >= 0")
+        if peak_rate_per_hour + base_rate_per_hour <= 0:
+            raise WorkloadError("the crowd must have a positive rate somewhere")
+        if decay_hours <= 0:
+            raise WorkloadError(f"decay_hours must be > 0, got {decay_hours}")
+        self.peak_rate_per_hour = float(peak_rate_per_hour)
+        self.decay_hours = float(decay_hours)
+        self.base_rate_per_hour = float(base_rate_per_hour)
+        super().__init__(
+            rate_fn=self.rate_at,
+            max_rate_per_hour=base_rate_per_hour + peak_rate_per_hour,
+        )
+
+    def rate_at(self, time_seconds: float) -> float:
+        """Instantaneous rate (per hour) at ``time_seconds`` after release."""
+        if time_seconds < 0:
+            return self.base_rate_per_hour
+        decay = math.exp(-time_seconds / (self.decay_hours * 3600.0))
+        return self.base_rate_per_hour + self.peak_rate_per_hour * decay
+
+    def expected_requests(self, horizon_seconds: float) -> float:
+        """Mean number of arrivals in ``[0, horizon_seconds)``.
+
+        >>> crowd = FlashCrowd(100.0, 1.0, base_rate_per_hour=0.0)
+        >>> round(crowd.expected_requests(1e9))   # total surge = peak * decay
+        100
+        """
+        if horizon_seconds < 0:
+            raise WorkloadError("horizon must be >= 0")
+        tau = self.decay_hours * 3600.0
+        surge = self.peak_rate_per_hour / 3600.0 * tau * (
+            1.0 - math.exp(-horizon_seconds / tau)
+        )
+        return surge + self.base_rate_per_hour / 3600.0 * horizon_seconds

@@ -1,0 +1,68 @@
+"""Request objects and request-stream helpers.
+
+A :class:`Request` ties an arrival time to a video identifier.  Single-video
+experiments (all of the paper's figures) only need arrival times; the request
+abstraction exists for the multi-video studies built on
+:class:`~repro.workload.popularity.ZipfCatalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterable, Iterator, List, Sequence
+
+from ..errors import WorkloadError
+
+_REQUEST_IDS = count()
+
+
+@dataclass(frozen=True)
+class Request:
+    """A customer request for one video.
+
+    Attributes
+    ----------
+    time:
+        Arrival time in seconds.
+    video_id:
+        Identifier of the requested video (0 for single-video experiments).
+    request_id:
+        Unique, monotonically increasing identifier.
+    """
+
+    time: float
+    video_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise WorkloadError(f"request time must be >= 0, got {self.time}")
+        if self.video_id < 0:
+            raise WorkloadError(f"video_id must be >= 0, got {self.video_id}")
+
+
+def requests_from_times(times: Sequence[float], video_id: int = 0) -> List[Request]:
+    """Wrap sorted arrival ``times`` into :class:`Request` objects.
+
+    >>> [r.time for r in requests_from_times([1.0, 2.0])]
+    [1.0, 2.0]
+    """
+    previous = -1.0
+    requests: List[Request] = []
+    for t in times:
+        if t < previous:
+            raise WorkloadError("arrival times must be sorted")
+        previous = t
+        requests.append(Request(time=float(t), video_id=video_id))
+    return requests
+
+
+def interleave(requests: Iterable[Request]) -> Iterator[Request]:
+    """Yield requests in time order, validating monotonicity."""
+    previous = -1.0
+    for request in sorted(requests, key=lambda r: (r.time, r.request_id)):
+        if request.time < previous:
+            raise WorkloadError("request stream went backwards in time")
+        previous = request.time
+        yield request

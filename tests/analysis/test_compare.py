@@ -1,0 +1,71 @@
+"""Tests for repro.analysis.compare."""
+
+import pytest
+
+from repro.analysis.compare import compare_series, crossover_rate, dominance
+from repro.analysis.metrics import BandwidthPoint, ProtocolSeries
+from repro.errors import ConfigurationError
+
+
+def series(name, means, rates=None):
+    rates = rates or list(range(1, len(means) + 1))
+    points = [
+        BandwidthPoint(rate_per_hour=float(r), mean_bandwidth=m, max_bandwidth=m)
+        for r, m in zip(rates, means)
+    ]
+    return ProtocolSeries(name, points)
+
+
+def test_winners_per_rate():
+    comparison = compare_series(
+        [series("A", [1.0, 5.0, 5.0]), series("B", [2.0, 2.0, 2.0])]
+    )
+    assert comparison.winners == ["A", "B", "B"]
+
+
+def test_winner_above_threshold():
+    comparison = compare_series(
+        [series("A", [1.0, 5.0, 5.0]), series("B", [2.0, 2.0, 2.0])]
+    )
+    assert comparison.winner_above(2.0) == "B"
+    assert comparison.winner_above(1.0) is None
+
+
+def test_dominance():
+    result = dominance(
+        [series("DHB", [1.0, 2.0]), series("UD", [1.5, 1.5]), series("NPB", [6.0, 6.0])],
+        subject="DHB",
+    )
+    assert result["UD"] == [1.0]
+    assert result["NPB"] == [1.0, 2.0]
+
+
+def test_dominance_unknown_subject():
+    with pytest.raises(ConfigurationError):
+        dominance([series("A", [1.0])], subject="Z")
+
+
+def test_crossover_found():
+    a = series("A", [1.0, 3.0, 5.0])
+    b = series("B", [2.0, 2.0, 2.0])
+    assert crossover_rate(a, b) == (1.0, 2.0)
+
+
+def test_no_crossover():
+    a = series("A", [1.0, 1.0])
+    b = series("B", [2.0, 2.0])
+    assert crossover_rate(a, b) is None
+
+
+def test_mismatched_rates_rejected():
+    a = series("A", [1.0], rates=[1.0])
+    b = series("B", [1.0], rates=[2.0])
+    with pytest.raises(ConfigurationError):
+        crossover_rate(a, b)
+    with pytest.raises(ConfigurationError):
+        compare_series([a, b])
+
+
+def test_empty_comparison_rejected():
+    with pytest.raises(ConfigurationError):
+        compare_series([])

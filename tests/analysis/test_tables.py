@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.metrics import BandwidthPoint, ProtocolSeries
+from repro.analysis.tables import format_series_table, format_simple_table
+from repro.errors import ConfigurationError
+
+
+def test_simple_table_alignment():
+    table = format_simple_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "long-name" in lines[3]
+    # All rows align on the second column.
+    assert lines[2].index("1") == lines[0].index("v")
+
+
+def test_simple_table_validation():
+    with pytest.raises(ConfigurationError):
+        format_simple_table([], [])
+    with pytest.raises(ConfigurationError):
+        format_simple_table(["a"], [["x", "y"]])
+
+
+def _series(name, means, maxima=None):
+    maxima = maxima or means
+    points = [
+        BandwidthPoint(rate_per_hour=r, mean_bandwidth=m, max_bandwidth=x)
+        for r, m, x in zip([1.0, 10.0], means, maxima)
+    ]
+    return ProtocolSeries(name, points)
+
+
+def test_series_table_mean():
+    table = format_series_table([_series("A", [1.5, 2.5]), _series("B", [3.0, 4.0])])
+    assert "req/hour" in table
+    assert "1.500" in table and "4.000" in table
+
+
+def test_series_table_max_and_precision():
+    table = format_series_table(
+        [_series("A", [1.4, 2.4], maxima=[3.0, 6.0])], value="max", precision=0
+    )
+    assert "3" in table and "6" in table
+    assert "1.4" not in table
+
+
+def test_series_table_unit_scale():
+    table = format_series_table([_series("A", [2048.0, 4096.0])], unit_scale=1024.0)
+    assert "2.000" in table and "4.000" in table
+
+
+def test_series_table_validation():
+    with pytest.raises(ConfigurationError):
+        format_series_table([])
+    with pytest.raises(ConfigurationError):
+        format_series_table([_series("A", [1.0, 2.0])], value="median")
+    mismatched = ProtocolSeries(
+        "B", [BandwidthPoint(rate_per_hour=7.0, mean_bandwidth=1.0, max_bandwidth=1.0)]
+    )
+    with pytest.raises(ConfigurationError):
+        format_series_table([_series("A", [1.0, 2.0]), mismatched])

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally small: tests exercise behaviour, not
+steady-state precision (the benchmarks own the long runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.sim.rng import RandomStreams
+from repro.video.vbr import VBRVideo
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """A seeded stream factory."""
+    return RandomStreams(seed=999)
+
+
+@pytest.fixture
+def tiny_vbr() -> VBRVideo:
+    """A 12-second VBR video with a quiet opening and a mid burst."""
+    return VBRVideo(
+        [50.0, 50.0, 80.0, 120.0, 200.0, 260.0, 180.0, 120.0, 90.0, 70.0, 60.0, 40.0],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def quick_config() -> SweepConfig:
+    """A sweep config small enough for unit tests."""
+    return SweepConfig().quick(
+        rates_per_hour=(10.0,), base_hours=3.0, min_requests=10
+    )

@@ -1,0 +1,98 @@
+"""Tests for repro.core.bandwidth_limited — the receive-cap extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core.bandwidth_limited import BandwidthLimitedDHB
+from repro.core.dhb import DHBProtocol
+
+request_traces = st.lists(st.integers(0, 30), min_size=1, max_size=40).map(sorted)
+
+
+def test_cap_respected_for_single_request():
+    protocol = BandwidthLimitedDHB(n_segments=10, client_cap=2, track_clients=True)
+    plan = protocol.handle_request(slot=0)
+    assert plan.max_concurrent_receptions() <= 2
+    plan.verify(protocol.periods)
+
+
+def test_cap_one_spreads_one_segment_per_slot():
+    protocol = BandwidthLimitedDHB(n_segments=6, client_cap=1, track_clients=True)
+    plan = protocol.handle_request(slot=0)
+    assert plan.max_concurrent_receptions() == 1
+    assert sorted(plan.assignments.values()) == [1, 2, 3, 4, 5, 6]
+    plan.verify(protocol.periods)
+
+
+def test_sharing_still_happens_under_cap():
+    protocol = BandwidthLimitedDHB(n_segments=8, client_cap=3, track_clients=True)
+    protocol.handle_request(slot=0)
+    plan = protocol.handle_request(slot=1)
+    assert any(plan.shared.values())
+
+
+def test_cap_may_force_duplicates():
+    """When a shareable instance sits in a cap-saturated slot, the client
+    must get its own copy — the single-future-instance invariant of base
+    DHB intentionally breaks here."""
+    capped = BandwidthLimitedDHB(n_segments=12, client_cap=1, track_clients=True)
+    uncapped = DHBProtocol(n_segments=12, track_clients=True)
+    for slot in [0, 0, 0, 1, 1, 2, 3]:
+        capped.handle_request(slot)
+        uncapped.handle_request(slot)
+    assert capped.schedule.total_instances >= uncapped.schedule.total_instances
+
+
+@settings(max_examples=80, deadline=None)
+@given(trace=request_traces, n_segments=st.integers(2, 14), cap=st.integers(1, 4))
+def test_cap_and_deadlines_hold_together(trace, n_segments, cap):
+    protocol = BandwidthLimitedDHB(
+        n_segments=n_segments, client_cap=cap, track_clients=True
+    )
+    for slot in trace:
+        protocol.handle_request(slot)
+    for plan in protocol.clients:
+        plan.verify(protocol.periods)
+        assert plan.max_concurrent_receptions() <= cap
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=request_traces, n_segments=st.integers(2, 12))
+def test_large_cap_matches_unlimited_dhb_cost(trace, n_segments):
+    """With the cap above the segment count the protocols behave alike."""
+    capped = BandwidthLimitedDHB(n_segments=n_segments, client_cap=n_segments + 1)
+    unlimited = DHBProtocol(n_segments=n_segments)
+    for slot in trace:
+        capped.handle_request(slot)
+        unlimited.handle_request(slot)
+    assert capped.schedule.total_instances == unlimited.schedule.total_instances
+
+
+def test_tighter_cap_costs_more_bandwidth():
+    tight = BandwidthLimitedDHB(n_segments=20, client_cap=1)
+    loose = BandwidthLimitedDHB(n_segments=20, client_cap=4)
+    for slot in range(0, 40, 2):
+        tight.handle_request(slot)
+        loose.handle_request(slot)
+    assert tight.schedule.total_instances >= loose.schedule.total_instances
+
+
+def test_release_before_prunes_state():
+    protocol = BandwidthLimitedDHB(n_segments=5, client_cap=2)
+    protocol.handle_request(slot=0)
+    protocol.release_before(10)
+    protocol.handle_request(slot=10)  # must not crash on pruned slots
+    assert protocol.requests_admitted == 2
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        BandwidthLimitedDHB(n_segments=5, client_cap=0)
+    with pytest.raises(ConfigurationError):
+        BandwidthLimitedDHB()
+
+
+def test_repr():
+    assert "cap=2" in repr(BandwidthLimitedDHB(n_segments=5, client_cap=2))

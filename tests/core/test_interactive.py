@@ -1,0 +1,129 @@
+"""Tests for repro.core.interactive — pause/resume (VCR) extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dhb import DHBProtocol
+from repro.core.interactive import InteractiveDHB
+from repro.errors import ConfigurationError, SchedulingError
+
+
+def test_fresh_requests_match_plain_dhb():
+    interactive = InteractiveDHB(n_segments=8, track_clients=True)
+    plain = DHBProtocol(n_segments=8, track_clients=True)
+    for slot in [0, 0, 2, 5, 9]:
+        interactive.handle_request(slot)
+        plain.handle_request(slot)
+    for a, b in zip(interactive.clients, plain.clients):
+        assert a.assignments == b.assignments
+        assert a.shared == b.shared
+
+
+def test_resume_covers_only_the_suffix():
+    protocol = InteractiveDHB(n_segments=6, track_clients=True)
+    plan = protocol.handle_request(slot=0, start_segment=4)
+    assert sorted(plan.assignments) == [4, 5, 6]
+    protocol.verify_resumed_plan(plan, start_segment=4)
+
+
+def test_resume_deadlines_are_shifted():
+    """A resumer watching S4 first needs it in its very first slot."""
+    protocol = InteractiveDHB(n_segments=6, track_clients=True)
+    plan = protocol.handle_request(slot=10, start_segment=4)
+    assert plan.assignments[4] == 11
+    assert plan.assignments[5] <= 12
+    assert plan.assignments[6] <= 13
+
+
+def test_resumer_shares_fresh_clients_instances_when_timely():
+    protocol = InteractiveDHB(n_segments=6, track_clients=True)
+    protocol.handle_request(slot=0)          # fresh: S_j scheduled at slot j
+    plan = protocol.handle_request(slot=2, start_segment=4)
+    # The fresh client's S4 sits at slot 4, but the resumer at slot 2 needs
+    # S4 by slot 3 (window length 1) — too late, so it schedules its own.
+    assert plan.assignments[4] == 3
+    assert not plan.shared[4]
+    # A resumer arriving one slot before the fresh instance can share it:
+    late = protocol.handle_request(slot=3, start_segment=4)
+    assert late.shared[4] and late.assignments[4] == 4
+
+
+def test_duplicate_future_instances_allowed():
+    """Resumed windows legitimately break the single-future-instance rule."""
+    protocol = InteractiveDHB(n_segments=6, track_clients=True)
+    protocol.handle_request(slot=0)           # S6 at slot 7
+    protocol.handle_request(slot=0, start_segment=6)  # needs S6 by slot 1
+    instances = [
+        slot
+        for slot in range(1, 10)
+        for segment in protocol.schedule.segments_in(slot)
+        if segment == 6
+    ]
+    assert len(instances) == 2
+
+
+def test_window_length():
+    protocol = InteractiveDHB(n_segments=6)
+    assert protocol.window_length(4, 1) == 4
+    assert protocol.window_length(4, 4) == 1
+    assert protocol.window_length(6, 4) == 3
+    with pytest.raises(SchedulingError):
+        protocol.window_length(2, 4)
+
+
+def test_custom_periods_resume():
+    protocol = InteractiveDHB(periods=[1, 3, 3, 8], track_clients=True)
+    plan = protocol.handle_request(slot=0, start_segment=2)
+    protocol.verify_resumed_plan(plan, start_segment=2)
+    # S2's window relative to a start at S2: T[2]-T[2]+1 = 1.
+    assert plan.assignments[2] == 1
+    # S4: T[4]-T[2]+1 = 6.
+    assert plan.assignments[4] <= 6
+
+
+def test_counters():
+    protocol = InteractiveDHB(n_segments=4)
+    protocol.handle_request(0)
+    protocol.handle_request(1, start_segment=2)
+    assert protocol.requests_admitted == 2
+    assert protocol.resumes_admitted == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 10)),
+        min_size=1,
+        max_size=40,
+    ).map(lambda evs: sorted(evs)),
+)
+def test_all_plans_on_time_property(events):
+    protocol = InteractiveDHB(n_segments=10, track_clients=True)
+    starts = []
+    for slot, start_segment in events:
+        protocol.handle_request(slot, start_segment=start_segment)
+        starts.append(start_segment)
+    for plan, start_segment in zip(protocol.clients, starts):
+        protocol.verify_resumed_plan(plan, start_segment)
+
+
+def test_vcr_activity_costs_bandwidth():
+    """Resumes fragment sharing, so bandwidth grows with VCR activity."""
+    calm = InteractiveDHB(n_segments=20)
+    busy = InteractiveDHB(n_segments=20)
+    for slot in range(0, 100, 2):
+        calm.handle_request(slot)
+        busy.handle_request(slot)
+        busy.handle_request(slot + 1, start_segment=(slot % 15) + 2)
+    assert busy.schedule.total_instances > calm.schedule.total_instances
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        InteractiveDHB()
+    protocol = InteractiveDHB(n_segments=5)
+    with pytest.raises(ConfigurationError):
+        protocol.handle_request(0, start_segment=0)
+    with pytest.raises(ConfigurationError):
+        protocol.handle_request(0, start_segment=6)

@@ -1,0 +1,69 @@
+"""Tests for repro.core.periods."""
+
+import pytest
+
+from repro.analysis.theory import harmonic_number
+from repro.errors import ConfigurationError
+from repro.core.periods import PeriodVector
+
+
+def test_uniform():
+    periods = PeriodVector.uniform(5)
+    assert list(periods) == [1, 2, 3, 4, 5]
+    assert periods.is_uniform
+    assert len(periods) == 5
+
+
+def test_one_based_indexing():
+    periods = PeriodVector([1, 3, 3, 8])
+    assert periods[1] == 1
+    assert periods[4] == 8
+    with pytest.raises(ConfigurationError):
+        periods[0]
+    with pytest.raises(ConfigurationError):
+        periods[5]
+
+
+def test_custom_vector_not_uniform():
+    assert not PeriodVector([1, 3, 3]).is_uniform
+
+
+def test_saturation_bandwidth_uniform_is_harmonic():
+    periods = PeriodVector.uniform(99)
+    assert periods.saturation_bandwidth == pytest.approx(harmonic_number(99))
+
+
+def test_saturation_bandwidth_custom():
+    periods = PeriodVector([1, 2, 4])
+    assert periods.saturation_bandwidth == pytest.approx(1 + 0.5 + 0.25)
+
+
+def test_equality():
+    assert PeriodVector([1, 2]) == PeriodVector([1, 2])
+    assert PeriodVector([1, 2]) != PeriodVector([1, 3])
+    assert PeriodVector([1, 2]).__eq__(42) is NotImplemented
+
+
+def test_as_list_copies():
+    periods = PeriodVector([1, 2, 3])
+    values = periods.as_list()
+    values[0] = 99
+    assert periods[1] == 1
+
+
+def test_repr_truncates_long_vectors():
+    assert "n=99" in repr(PeriodVector.uniform(99))
+    assert "..." not in repr(PeriodVector.uniform(3))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PeriodVector([])
+    with pytest.raises(ConfigurationError):
+        PeriodVector([2, 2])  # T[1] must be 1
+    with pytest.raises(ConfigurationError):
+        PeriodVector([1, 0])
+    with pytest.raises(ConfigurationError):
+        PeriodVector([1, 2.5])
+    with pytest.raises(ConfigurationError):
+        PeriodVector.uniform(0)

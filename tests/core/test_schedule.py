@@ -1,0 +1,112 @@
+"""Tests for repro.core.schedule."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.schedule import SlotSchedule
+
+
+def test_add_and_load():
+    schedule = SlotSchedule(n_segments=5)
+    schedule.add(3, 1)
+    schedule.add(3, 2)
+    schedule.add(4, 1)
+    assert schedule.load(3) == 2
+    assert schedule.load(4) == 1
+    assert schedule.load(5) == 0
+    assert schedule.total_instances == 3
+
+
+def test_segments_in_preserves_order_and_copies():
+    schedule = SlotSchedule(n_segments=5)
+    schedule.add(2, 3)
+    schedule.add(2, 1)
+    listed = schedule.segments_in(2)
+    assert listed == [3, 1]
+    listed.append(99)
+    assert schedule.segments_in(2) == [3, 1]
+
+
+def test_next_transmission_tracks_latest():
+    schedule = SlotSchedule(n_segments=5)
+    assert schedule.next_transmission(1) is None
+    schedule.add(2, 1)
+    schedule.add(5, 1)
+    assert schedule.next_transmission(1) == 5
+
+
+def test_has_instance_within():
+    schedule = SlotSchedule(n_segments=5)
+    schedule.add(4, 2)
+    assert schedule.has_instance_within(2, 2, 5)
+    assert not schedule.has_instance_within(2, 5, 9)
+    assert not schedule.has_instance_within(3, 0, 100)
+
+
+def test_release_before_bounds_memory_but_keeps_index():
+    schedule = SlotSchedule(n_segments=3)
+    schedule.add(1, 1)
+    schedule.add(10, 2)
+    schedule.release_before(5)
+    assert schedule.load(1) == 0  # released
+    assert schedule.load(10) == 1
+    # The next-transmission index survives GC.
+    assert schedule.next_transmission(2) == 10
+    assert schedule.occupied_slots() == [10]
+
+
+def test_adding_into_released_slot_rejected():
+    schedule = SlotSchedule(n_segments=3)
+    schedule.release_before(10)
+    with pytest.raises(SchedulingError):
+        schedule.add(5, 1)
+
+
+def test_release_is_idempotent():
+    schedule = SlotSchedule(n_segments=3)
+    schedule.add(8, 1)
+    schedule.release_before(5)
+    schedule.release_before(3)  # going backwards is a no-op
+    assert schedule.load(8) == 1
+
+
+def test_segment_bounds_checked():
+    schedule = SlotSchedule(n_segments=3)
+    with pytest.raises(SchedulingError):
+        schedule.add(1, 0)
+    with pytest.raises(SchedulingError):
+        schedule.add(1, 4)
+    with pytest.raises(SchedulingError):
+        schedule.next_transmission(99)
+
+
+def test_invalid_sizes():
+    with pytest.raises(SchedulingError):
+        SlotSchedule(n_segments=0)
+
+
+class TestWeights:
+    def test_default_weights_are_unit(self):
+        schedule = SlotSchedule(n_segments=3)
+        schedule.add(1, 2)
+        schedule.add(1, 3)
+        assert schedule.weight(1) == pytest.approx(2.0)
+
+    def test_custom_weights_accumulate(self):
+        schedule = SlotSchedule(n_segments=3, segment_weights=[10.0, 20.0, 30.0])
+        schedule.add(5, 1)
+        schedule.add(5, 3)
+        assert schedule.weight(5) == pytest.approx(40.0)
+        assert schedule.load(5) == 2
+
+    def test_weight_gc(self):
+        schedule = SlotSchedule(n_segments=2, segment_weights=[5.0, 5.0])
+        schedule.add(1, 1)
+        schedule.release_before(2)
+        assert schedule.weight(1) == 0.0
+
+    def test_weight_validation(self):
+        with pytest.raises(SchedulingError):
+            SlotSchedule(n_segments=2, segment_weights=[1.0])
+        with pytest.raises(SchedulingError):
+            SlotSchedule(n_segments=2, segment_weights=[1.0, -1.0])

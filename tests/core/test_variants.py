@@ -1,0 +1,102 @@
+"""Tests for repro.core.variants — the Section 4 DHB-a/b/c/d derivations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.variants import dhb_a, dhb_b, dhb_c, dhb_d, make_all_variants
+from repro.units import KILOBYTE
+from repro.video.matrix import matrix_like_video
+from repro.video.vbr import VBRVideo
+
+MATRIX = matrix_like_video()
+WAIT = 60.0
+
+
+class TestOnMatrixTrace:
+    """Anchors against the numbers Section 4 publishes."""
+
+    def test_dhb_a_matches_paper_exactly(self):
+        variant = dhb_a(MATRIX, WAIT)
+        assert variant.n_segments == 137  # paper: 137 segments
+        assert variant.stream_rate / KILOBYTE == pytest.approx(951.0)  # paper: 951
+        assert variant.periods.is_uniform
+
+    def test_dhb_b_rate_between_average_and_peak(self):
+        variant = dhb_b(MATRIX, WAIT)
+        assert variant.n_segments == 137
+        # Paper's trace gave 789 KB/s; ours is trace-specific but must sit
+        # strictly between the mean (636) and the peak (951).
+        assert MATRIX.average_bandwidth < variant.stream_rate < MATRIX.peak_bandwidth()
+
+    def test_dhb_c_packs_fewer_segments_at_lower_rate(self):
+        b = dhb_b(MATRIX, WAIT)
+        c = dhb_c(MATRIX, WAIT)
+        assert c.n_segments < 137  # paper: 129
+        assert c.stream_rate < b.stream_rate  # paper: 671 < 789
+        assert c.stream_rate >= MATRIX.total_bytes / (MATRIX.duration + WAIT) - 1e-9
+
+    def test_dhb_d_relaxes_frequencies(self):
+        c = dhb_c(MATRIX, WAIT)
+        d = dhb_d(MATRIX, WAIT)
+        assert d.n_segments == c.n_segments
+        assert d.stream_rate == pytest.approx(c.stream_rate)
+        # The relaxation strictly reduces the saturation bandwidth.
+        assert (
+            d.periods.saturation_bandwidth < c.periods.saturation_bandwidth
+        )
+        # T[1] is always 1; many later periods exceed their ordinal.
+        assert d.periods[1] == 1
+        gains = [d.periods[j] - j for j in range(1, d.n_segments + 1)]
+        assert sum(1 for g in gains if g > 0) > d.n_segments // 4
+
+    def test_saturation_ordering_matches_figure_9(self):
+        variants = make_all_variants(MATRIX, WAIT)
+        saturation = {
+            name: v.periods.saturation_bandwidth * v.stream_rate
+            for name, v in variants.items()
+        }
+        assert (
+            saturation["DHB-a"]
+            > saturation["DHB-b"]
+            > saturation["DHB-c"]
+            > saturation["DHB-d"]
+        )
+
+    def test_deterministic_wait_step_is_largest(self):
+        """"Switching to a deterministic waiting time has the most impact."."""
+        variants = make_all_variants(MATRIX, WAIT)
+        saturation = [
+            variants[name].periods.saturation_bandwidth * variants[name].stream_rate
+            for name in ("DHB-a", "DHB-b", "DHB-c", "DHB-d")
+        ]
+        steps = [a - b for a, b in zip(saturation, saturation[1:])]
+        assert steps[0] == max(steps)
+
+
+class TestGenericBehaviour:
+    def test_protocols_build_and_run(self, tiny_vbr):
+        for variant in make_all_variants(tiny_vbr, 2.0).values():
+            protocol = variant.build_protocol(track_clients=True)
+            protocol.handle_request(0)
+            protocol.clients[0].verify(variant.periods)
+
+    def test_segment_bytes_cover_video(self, tiny_vbr):
+        for name, variant in make_all_variants(tiny_vbr, 2.0).items():
+            if name == "DHB-a":
+                continue  # containers, not content bytes
+            assert sum(variant.segment_bytes) == pytest.approx(
+                tiny_vbr.total_bytes, rel=1e-6
+            )
+
+    def test_saturation_bytes_per_second(self, tiny_vbr):
+        variant = dhb_b(tiny_vbr, 2.0)
+        expected = sum(
+            w / (t * 2.0) for w, t in zip(variant.segment_bytes, variant.periods)
+        )
+        assert variant.saturation_bytes_per_second == pytest.approx(expected)
+
+    def test_invalid_wait_rejected(self, tiny_vbr):
+        with pytest.raises(ConfigurationError):
+            dhb_a(tiny_vbr, 0.0)
+        with pytest.raises(ConfigurationError):
+            dhb_c(tiny_vbr, tiny_vbr.duration)

@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    heuristic_ablation,
+    peak_demonstration,
+    sharing_ablation,
+    slack_dial_ablation,
+)
+from repro.experiments.config import SweepConfig
+
+QUICK = SweepConfig().quick(rates_per_hour=(100.0,), base_hours=4.0, min_requests=30)
+
+
+def test_heuristic_ablation_runs_all_arms():
+    series = heuristic_ablation(QUICK)
+    labels = [s.protocol for s in series]
+    assert "min-load/latest (paper)" in labels
+    assert "always-latest (naive)" in labels
+    assert len(series) == 4
+    assert all(len(s.points) == 1 for s in series)
+
+
+def test_sharing_ablation_shows_sharing_savings():
+    series = sharing_ablation(QUICK)
+    by_name = {s.protocol: s for s in series}
+    with_sharing = by_name["DHB (sharing)"].means[0]
+    without = by_name["DHB (no sharing)"].means[0]
+    assert with_sharing < without
+
+
+def test_slack_dial_spans_the_tradeoff():
+    series = slack_dial_ablation(QUICK, slacks=(0, 1_000_000))
+    by_name = {s.protocol: s for s in series}
+    assert set(by_name) == {"slack=0", "slack=inf"}
+    # Infinite slack (always-latest) never pays more on average ...
+    assert by_name["slack=inf"].means[0] <= by_name["slack=0"].means[0] * 1.05
+    # ... but its peak is visibly taller under load.
+    assert by_name["slack=inf"].maxima[0] > by_name["slack=0"].maxima[0]
+
+
+def test_peak_demonstration_naive_explodes():
+    """The paper's "slot 120!" bandwidth-peak argument, in miniature."""
+    results = peak_demonstration(n_segments=40, n_slots=1500)
+    heuristic = results["heuristic"]
+    naive = results["always-latest"]
+    # Averages are comparable (both at the harmonic plateau)...
+    assert heuristic["mean_streams"] == pytest.approx(
+        naive["mean_streams"], rel=0.25
+    )
+    # ... but the naive rule's peak is far above the heuristic's.
+    assert naive["max_streams"] >= heuristic["max_streams"] + 3
+    # And the heuristic's peak stays within a couple of streams of its mean.
+    assert heuristic["max_streams"] <= heuristic["mean_streams"] + 3

@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import PAPER_RATES, SweepConfig
+
+
+def test_defaults_match_paper():
+    config = SweepConfig()
+    assert config.duration == 7200.0
+    assert config.n_segments == 99
+    assert config.rates_per_hour == PAPER_RATES
+    assert config.rates_per_hour[0] == 1
+    assert config.rates_per_hour[-1] == 1000
+
+
+def test_slot_duration():
+    assert SweepConfig().slot_duration == pytest.approx(7200.0 / 99)
+
+
+def test_horizon_stretches_at_low_rates():
+    config = SweepConfig(base_hours=40.0, min_requests=400)
+    assert config.horizon_hours(1000.0) == 40.0
+    assert config.horizon_hours(1.0) == 400.0
+
+
+def test_quick_is_smaller():
+    config = SweepConfig()
+    quick = config.quick()
+    assert quick.base_hours < config.base_hours
+    assert len(quick.rates_per_hour) < len(config.rates_per_hour)
+    assert quick.duration == config.duration
+
+
+def test_quick_accepts_overrides():
+    quick = SweepConfig().quick(rates_per_hour=(7.0,), seed=9)
+    assert quick.rates_per_hour == (7.0,)
+    assert quick.seed == 9
+
+
+def test_replace_validates():
+    with pytest.raises(ConfigurationError):
+        SweepConfig().replace(n_segments=0)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(duration=0.0),
+        dict(n_segments=0),
+        dict(rates_per_hour=()),
+        dict(rates_per_hour=(0.0,)),
+        dict(base_hours=0.0),
+        dict(min_requests=0),
+        dict(warmup_fraction=1.0),
+        dict(warmup_fraction=-0.1),
+    ],
+)
+def test_validation(overrides):
+    with pytest.raises(ConfigurationError):
+        SweepConfig(**overrides)
+
+
+def test_horizon_invalid_rate():
+    with pytest.raises(ConfigurationError):
+        SweepConfig().horizon_hours(0.0)

@@ -1,0 +1,102 @@
+"""Cross-validation: simulators vs closed-form models.
+
+Where a protocol has an exact analytic cost, the simulation must match it;
+where only bounds exist, the simulation must respect them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    batching_cost_rate,
+    dhb_saturation_bandwidth,
+    evz_lower_bound,
+    patching_cost_rate,
+    staggered_catching_cost_rate,
+)
+from repro.core.dhb import DHBProtocol
+from repro.protocols.batching import BatchingProtocol
+from repro.protocols.catching import SelectiveCatchingProtocol
+from repro.protocols.patching import PatchingProtocol
+from repro.protocols.stream_tapping import StreamTappingProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.sim.rng import RandomStreams
+from repro.sim.slotted import SlottedSimulation
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+
+DURATION = 7200.0
+
+
+def poisson_times(rate, horizon, name):
+    return PoissonArrivals(rate).generate(horizon, RandomStreams(5).get(name))
+
+
+@pytest.mark.parametrize("rate", [5.0, 50.0, 300.0])
+def test_patching_simulation_vs_formula(rate):
+    horizon = max(400.0, 20000.0 / rate) * 3600.0
+    protocol = PatchingProtocol(DURATION, expected_rate_per_hour=rate)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.02)
+    result = sim.run(poisson_times(rate, horizon, f"patch{rate}"))
+    theory = patching_cost_rate(rate / 3600.0, DURATION)
+    assert result.mean_streams == pytest.approx(theory, rel=0.06)
+
+
+@pytest.mark.parametrize("rate", [10.0, 100.0])
+def test_tapping_beats_patching_and_respects_evz(rate):
+    horizon = 300.0 * 3600.0
+    protocol = StreamTappingProtocol(DURATION, expected_rate_per_hour=rate)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.05)
+    result = sim.run(poisson_times(rate, horizon, f"tap{rate}"))
+    lam = rate / 3600.0
+    assert result.mean_streams <= patching_cost_rate(lam, DURATION) * 1.02
+    # The Eager-Vernon-Zahorjan bound is a hard floor for zero-delay service.
+    assert result.mean_streams >= evz_lower_bound(lam, DURATION) * 0.98
+
+
+def test_batching_simulation_vs_formula():
+    rate, window = 40.0, 600.0
+    horizon = 500.0 * 3600.0
+    protocol = BatchingProtocol(DURATION, window)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.02)
+    result = sim.run(poisson_times(rate, horizon, "batch"))
+    theory = batching_cost_rate(rate / 3600.0, DURATION, window)
+    assert result.mean_streams == pytest.approx(theory, rel=0.06)
+
+
+def test_catching_simulation_vs_formula():
+    rate, channels = 80.0, 5
+    horizon = 200.0 * 3600.0
+    protocol = SelectiveCatchingProtocol(DURATION, n_channels=channels)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.05)
+    result = sim.run(poisson_times(rate, horizon, "catch"))
+    theory = staggered_catching_cost_rate(rate / 3600.0, DURATION, channels)
+    assert result.mean_streams == pytest.approx(theory, rel=0.06)
+
+
+def test_dhb_saturation_equals_harmonic_under_per_slot_arrivals():
+    """With a request in every slot and the always-latest placements
+    suppressed by sharing, each segment settles at its minimum frequency;
+    the measured mean approaches H(n) from above."""
+    n = 40
+    protocol = DHBProtocol(n_segments=n)
+    slots = 4000
+    sim = SlottedSimulation(protocol, 1.0, slots, warmup_slots=slots // 5)
+    times = DeterministicArrivals(interval=1.0, offset=0.5).generate(
+        float(slots), np.random.default_rng(0)
+    )
+    result = sim.run(times)
+    target = dhb_saturation_bandwidth(n)
+    assert target - 1e-6 <= result.mean_streams <= target * 1.10
+
+
+def test_dhb_never_below_evz_bound():
+    """No protocol with wait d can beat the EVZ lower bound."""
+    n = 99
+    slot = DURATION / n
+    for rate in [5.0, 100.0]:
+        slots = int(60 * 3600.0 / slot)
+        protocol = DHBProtocol(n_segments=n)
+        sim = SlottedSimulation(protocol, slot, slots, warmup_slots=slots // 10)
+        result = sim.run(poisson_times(rate, slots * slot, f"dhb{rate}"))
+        bound = evz_lower_bound(rate / 3600.0, DURATION, wait=slot)
+        assert result.mean_streams >= bound * 0.97

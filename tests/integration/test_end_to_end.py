@@ -1,0 +1,114 @@
+"""End-to-end integration: full pipelines, multi-video scenarios, VBR flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth_limited import BandwidthLimitedDHB
+from repro.core.dhb import DHBProtocol
+from repro.core.variants import make_all_variants
+from repro.experiments.config import SweepConfig
+from repro.experiments.runner import arrivals_for_rate, measure_protocol
+from repro.sim.rng import RandomStreams
+from repro.sim.slotted import SlottedSimulation
+from repro.units import HOUR, TWO_HOURS
+from repro.video.matrix import matrix_like_video
+from repro.workload.arrivals import NonHomogeneousPoisson
+from repro.workload.diurnal import child_daytime_profile
+from repro.workload.popularity import ZipfCatalog
+
+
+def test_vbr_pipeline_end_to_end():
+    """Matrix trace -> variants -> simulation -> ordered bandwidths."""
+    video = matrix_like_video()
+    variants = make_all_variants(video, 60.0)
+    config = SweepConfig(duration=video.duration, n_segments=137).quick(
+        rates_per_hour=(120.0,), base_hours=8.0, min_requests=50
+    )
+    arrivals = arrivals_for_rate(config, 120.0)
+    means = []
+    for name in ("DHB-a", "DHB-b", "DHB-c", "DHB-d"):
+        variant = variants[name]
+        point = measure_protocol(
+            variant.build_protocol(),
+            config,
+            120.0,
+            arrival_times=arrivals,
+            stream_bandwidth=variant.stream_rate,
+            slot_duration=variant.slot_duration,
+        )
+        means.append(point.mean_bandwidth)
+    assert means == sorted(means, reverse=True)  # a > b > c > d
+
+
+def test_vbr_clients_always_on_time():
+    """Replay every client plan of a DHB-d run against its deadlines."""
+    video = matrix_like_video()
+    variant = make_all_variants(video, 60.0)["DHB-d"]
+    protocol = variant.build_protocol(track_clients=True)
+    rng = RandomStreams(3).get("arrivals")
+    slots = 600
+    times = np.sort(rng.uniform(0, slots * 60.0, size=250))
+    sim = SlottedSimulation(protocol, 60.0, slots)
+    sim.run(times)
+    assert len(protocol.clients) == 250
+    for plan in protocol.clients:
+        plan.verify(variant.periods)
+
+
+def test_diurnal_workload_dhb_tracks_demand():
+    """DHB's bandwidth follows a time-varying demand profile."""
+    profile = child_daytime_profile(peak_rate_per_hour=100.0)
+    process = NonHomogeneousPoisson(profile.rate_at, profile.max_rate_per_hour)
+    times = process.generate(24 * HOUR, RandomStreams(1).get("arrivals"))
+    slot = TWO_HOURS / 99
+    slots = int(24 * HOUR / slot)
+    protocol = DHBProtocol(n_segments=99)
+    sim = SlottedSimulation(protocol, slot, slots, keep_series=True)
+    result = sim.run(times)
+    series = np.array(result.series)
+    per_slot = int(4 * HOUR / slot)
+    night = series[:per_slot].mean()             # 00:00-04:00
+    day = series[3 * per_slot : 4 * per_slot].mean()  # 12:00-16:00
+    assert day > 4 * night
+    assert day < 6.0  # still under NPB's allocation at the peak
+
+
+def test_multi_video_catalog_runs_independently():
+    """Per-title DHB instances under Zipf-split demand."""
+    catalog = ZipfCatalog(n_videos=5, theta=1.0)
+    slot = TWO_HOURS / 20
+    slots = 800
+    totals = []
+    for rank in range(5):
+        rate = catalog.rate_for(rank, 120.0)
+        protocol = DHBProtocol(n_segments=20)
+        sim = SlottedSimulation(protocol, slot, slots, warmup_slots=80)
+        times = np.sort(
+            RandomStreams(rank).get("arr").uniform(0, slots * slot,
+                                                   size=max(3, int(rate)))
+        )
+        totals.append(sim.run(times).mean_streams)
+    # More popular titles consume more bandwidth.
+    assert totals[0] > totals[-1]
+
+
+def test_bandwidth_limited_extension_full_run():
+    """The receive-cap extension survives a realistic simulated day."""
+    protocol = BandwidthLimitedDHB(n_segments=50, client_cap=2, track_clients=True)
+    slot = TWO_HOURS / 50
+    slots = 500
+    rng = RandomStreams(9).get("arrivals")
+    times = np.sort(rng.uniform(0, slots * slot, size=300))
+    SlottedSimulation(protocol, slot, slots).run(times)
+    for plan in protocol.clients:
+        plan.verify(protocol.periods)
+        assert plan.max_concurrent_receptions() <= 2
+
+
+def test_reproducibility_across_runs():
+    """Identical seeds give bit-identical sweep results."""
+    config = SweepConfig().quick(rates_per_hour=(25.0,), base_hours=4.0,
+                                 min_requests=20)
+    first = measure_protocol(DHBProtocol(n_segments=99), config, 25.0)
+    second = measure_protocol(DHBProtocol(n_segments=99), config, 25.0)
+    assert first == second

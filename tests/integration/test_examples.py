@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the documented entry points; breaking one silently would break
+the README.  Each runs in a subprocess with the repo's interpreter.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=240):
+    script = EXAMPLES_DIR / name
+    result = subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_every_example_is_covered():
+    names = {path.name for path in EXAMPLES}
+    covered = {
+        "quickstart.py",
+        "protocol_tour.py",
+        "diurnal_demand.py",
+        "compressed_video.py",
+        "capacity_planning.py",
+        "premiere_night.py",
+    }
+    assert names == covered, f"update the smoke tests: {names ^ covered}"
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "50")
+    assert "average bandwidth" in out
+    assert "H(99)" in out
+
+
+def test_protocol_tour():
+    out = run_example("protocol_tour.py")
+    assert "S2 S4 S2 S5 S2 S4" in out  # Figure 2 row
+    assert "dhb" in out
+
+
+def test_compressed_video():
+    out = run_example("compressed_video.py", "50")
+    assert "DHB-d" in out
+    assert "expected ordering" in out
+
+
+def test_capacity_planning():
+    out = run_example("capacity_planning.py")
+    assert "provisioned server bandwidth" in out
+    assert "cap 2" in out
+
+
+def test_diurnal_demand():
+    out = run_example("diurnal_demand.py")
+    assert "whole-run averages" in out
+
+
+def test_premiere_night():
+    out = run_example("premiere_night.py")
+    assert "premiere surge" in out
+    assert "verified on time" in out

@@ -1,0 +1,135 @@
+"""Integration tests: the paper's headline claims, as assertions.
+
+These run real (moderate-horizon) simulations and check the *shape* facts
+the paper reports.  The benchmarks rerun the same experiments at full
+paper scale; these horizons are chosen so the orderings are already stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import dhb_saturation_bandwidth
+from repro.core.dhb import DHBProtocol
+from repro.protocols.npb import pagoda_streams_for_segments
+from repro.protocols.stream_tapping import StreamTappingProtocol
+from repro.protocols.ud import UniversalDistributionProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.sim.rng import RandomStreams
+from repro.sim.slotted import SlottedSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+DURATION = 7200.0
+N_SEGMENTS = 99
+SLOT = DURATION / N_SEGMENTS
+NPB_STREAMS = pagoda_streams_for_segments(N_SEGMENTS)  # = 6
+
+
+def run_slotted(protocol, rate, hours=40.0, seed=11):
+    slots = int(hours * 3600.0 / SLOT)
+    sim = SlottedSimulation(protocol, SLOT, slots, warmup_slots=slots // 10)
+    times = PoissonArrivals(rate).generate(
+        slots * SLOT, RandomStreams(seed).get(f"arr@{rate}")
+    )
+    return sim.run(times)
+
+
+def run_tapping(rate, hours=40.0, seed=11):
+    horizon = hours * 3600.0
+    protocol = StreamTappingProtocol(DURATION, expected_rate_per_hour=rate)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon / 10)
+    times = PoissonArrivals(rate).generate(
+        horizon, RandomStreams(seed).get(f"arr@{rate}")
+    )
+    return sim.run(times)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """DHB / UD / tapping measurements at low, mid and high rates."""
+    results = {}
+    for rate, hours in [(2.0, 300.0), (50.0, 60.0), (500.0, 30.0)]:
+        results[rate] = {
+            "dhb": run_slotted(DHBProtocol(n_segments=N_SEGMENTS), rate, hours),
+            "ud": run_slotted(
+                UniversalDistributionProtocol(n_segments=N_SEGMENTS), rate, hours
+            ),
+            "tapping": run_tapping(rate, hours),
+        }
+    return results
+
+
+class TestFigure7Claims:
+    def test_dhb_beats_all_rivals_above_two_per_hour(self, sweep):
+        """"the new DHB protocol requires less average bandwidth than its
+        four rivals do for all request arrival rates above two requests
+        per hour"."""
+        for rate in (2.0, 50.0, 500.0):
+            dhb = sweep[rate]["dhb"].mean_streams
+            assert dhb < sweep[rate]["ud"].mean_streams
+            assert dhb < sweep[rate]["tapping"].mean_streams
+            assert dhb < NPB_STREAMS
+
+    def test_npb_constant_bandwidth(self):
+        """NPB's requirements "do not vary with the request arrival rate"."""
+        from repro.protocols.npb import NewPagodaBroadcasting
+
+        for rate in (2.0, 500.0):
+            result = run_slotted(
+                NewPagodaBroadcasting(n_segments=N_SEGMENTS), rate, hours=10.0
+            )
+            assert result.mean_streams == NPB_STREAMS
+            assert result.max_streams == NPB_STREAMS
+
+    def test_stream_tapping_competitive_only_at_one_per_hour(self):
+        dhb_1 = run_slotted(DHBProtocol(n_segments=N_SEGMENTS), 1.0, hours=600.0)
+        tap_1 = run_tapping(1.0, hours=600.0)
+        # Within ~25% of each other at 1/hour (the paper has tapping
+        # slightly ahead; our tapping model lands slightly behind — both
+        # protocols sit near one stream and far below everything else).
+        assert tap_1.mean_streams == pytest.approx(dhb_1.mean_streams, rel=0.35)
+        # ... and hopelessly behind by 50/hour.
+        dhb_50 = run_slotted(DHBProtocol(n_segments=N_SEGMENTS), 50.0, hours=60.0)
+        tap_50 = run_tapping(50.0, hours=60.0)
+        assert tap_50.mean_streams > 1.5 * dhb_50.mean_streams
+
+    def test_dhb_saturates_near_harmonic_number(self, sweep):
+        """DHB's plateau sits between H(99) and NPB's stream count."""
+        saturated = sweep[500.0]["dhb"].mean_streams
+        assert dhb_saturation_bandwidth(N_SEGMENTS) <= saturated + 1e-9
+        assert saturated < NPB_STREAMS
+
+    def test_ud_saturates_at_fb_streams(self, sweep):
+        """"Above 200 requests per hour ... UD reverts to a conventional
+        FB protocol" — seven streams for 99 segments."""
+        assert sweep[500.0]["ud"].mean_streams == pytest.approx(7.0, abs=0.05)
+
+
+class TestFigure8Claims:
+    def test_max_bandwidth_ordering(self, sweep):
+        """NPB smallest max, DHB largest, UD between (loaded regime)."""
+        dhb_max = sweep[500.0]["dhb"].max_streams
+        ud_max = sweep[500.0]["ud"].max_streams
+        assert NPB_STREAMS <= ud_max <= dhb_max
+
+    def test_dhb_peak_within_two_streams_of_npb(self, sweep):
+        """"the difference between these two protocols never exceeds twice
+        the video consumption rate"."""
+        for rate in (2.0, 50.0, 500.0):
+            assert sweep[rate]["dhb"].max_streams - NPB_STREAMS <= 2.0
+
+
+class TestWaitingTime:
+    def test_slotted_wait_bounded_by_one_slot(self, sweep):
+        for rate in (2.0, 500.0):
+            for name in ("dhb", "ud"):
+                result = sweep[rate][name]
+                assert result.max_wait <= SLOT + 1e-9
+                # Poisson arrivals average half a slot.
+                assert result.mean_wait == pytest.approx(SLOT / 2, rel=0.15)
+
+    def test_73_second_guarantee(self):
+        """"no more than 73 seconds for a two-hour video" with 99 segments."""
+        assert SLOT == pytest.approx(72.7, abs=0.1)
+
+    def test_tapping_zero_delay(self, sweep):
+        assert sweep[50.0]["tapping"].mean_wait == 0.0

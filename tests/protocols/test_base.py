@@ -1,0 +1,81 @@
+"""Tests for repro.protocols.base — static maps and their verification."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.protocols.base import StaticBroadcastProtocol, StaticMap, verify_static_map
+
+
+def simple_map():
+    return StaticMap(patterns=[[1], [2, 3]], n_segments=3)
+
+
+def test_segment_at_cycles():
+    m = simple_map()
+    assert [m.segment_at(1, s) for s in range(4)] == [2, 3, 2, 3]
+
+
+def test_segments_in_slot():
+    assert simple_map().segments_in_slot(1) == [1, 3]
+
+
+def test_period_of():
+    m = simple_map()
+    assert m.period_of(1) == 1
+    assert m.period_of(2) == 2
+    assert m.period_of(3) == 2
+
+
+def test_period_of_missing_segment():
+    with pytest.raises(SchedulingError):
+        simple_map().period_of(9)
+
+
+def test_period_of_uneven_spacing_detected():
+    uneven = StaticMap(patterns=[[1, 1, 2, 1]], n_segments=2)
+    with pytest.raises(SchedulingError):
+        uneven.period_of(1)
+
+
+def test_render():
+    text = simple_map().render(4)
+    assert "Stream 1  S1 S1 S1 S1" in text
+    assert "Stream 2  S2 S3 S2 S3" in text
+
+
+def test_verify_accepts_valid_map():
+    verify_static_map(simple_map(), exhaustive_arrivals=10)
+
+
+def test_verify_rejects_late_segment():
+    # S2 every 3 slots violates its 2-slot deadline.
+    bad = StaticMap(patterns=[[1], [2, 3, 3]], n_segments=3)
+    with pytest.raises(SchedulingError):
+        verify_static_map(bad)
+
+
+def test_verify_rejects_missing_segment():
+    missing = StaticMap(patterns=[[1], [3, 3]], n_segments=3)
+    with pytest.raises(SchedulingError):
+        verify_static_map(missing)
+
+
+def test_exhaustive_check_agrees_with_period_check():
+    # A map that passes the period rule also passes the sliding window.
+    verify_static_map(simple_map(), exhaustive_arrivals=24)
+
+
+class TestStaticBroadcastProtocol:
+    def test_constant_load(self):
+        protocol = StaticBroadcastProtocol(simple_map())
+        protocol.handle_request(slot=3)
+        assert protocol.slot_load(0) == 2
+        assert protocol.slot_load(10_000) == 2
+        assert protocol.requests_admitted == 1
+        assert protocol.n_segments == 3
+        assert protocol.n_streams == 2
+
+    def test_release_is_noop(self):
+        protocol = StaticBroadcastProtocol(simple_map())
+        protocol.release_before(100)
+        assert protocol.slot_load(5) == 2

@@ -1,0 +1,55 @@
+"""Tests for repro.protocols.batching."""
+
+import pytest
+
+from repro.analysis.theory import batching_cost_rate
+from repro.errors import ConfigurationError
+from repro.protocols.batching import BatchingProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+
+def test_batch_opens_and_serves_later():
+    b = BatchingProtocol(duration=100.0, window=10.0)
+    assert b.handle_request(5.0) == [(15.0, 115.0)]
+
+
+def test_joining_requests_are_free_and_wait_less():
+    b = BatchingProtocol(duration=100.0, window=10.0)
+    b.handle_request(5.0)
+    assert b.handle_request(12.0) == []
+    assert b.startup_delay(12.0) == pytest.approx(3.0)
+
+
+def test_next_batch_after_service():
+    b = BatchingProtocol(duration=100.0, window=10.0)
+    b.handle_request(0.0)
+    assert b.handle_request(10.0) == [(20.0, 120.0)]
+    assert b.batches_served == 2
+
+
+def test_waits_bounded_by_window():
+    b = BatchingProtocol(duration=100.0, window=10.0)
+    b.handle_request(0.0)
+    for t in [1.0, 5.0, 9.9]:
+        b.handle_request(t)
+        assert 0.0 <= b.startup_delay(t) <= 10.0
+
+
+def test_simulation_matches_theory(rng):
+    duration, rate, window = 7200.0, 60.0, 300.0
+    protocol = BatchingProtocol(duration, window)
+    horizon = 300 * 3600.0
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.05)
+    times = PoissonArrivals(rate).generate(horizon, rng)
+    result = sim.run(times)
+    theory = batching_cost_rate(rate / 3600.0, duration, window)
+    assert result.mean_streams == pytest.approx(theory, rel=0.08)
+    assert result.max_wait <= window + 1e-9
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BatchingProtocol(duration=0.0)
+    with pytest.raises(ConfigurationError):
+        BatchingProtocol(duration=10.0, window=-1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.protocols.catching."""
+
+import pytest
+
+from repro.analysis.theory import (
+    optimal_catching_channels,
+    staggered_catching_cost_rate,
+)
+from repro.errors import ConfigurationError
+from repro.protocols.catching import SelectiveCatchingProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+
+def test_cycle_gap():
+    sc = SelectiveCatchingProtocol(duration=100.0, n_channels=4)
+    assert sc.cycle_gap == 25.0
+
+
+def test_patch_is_time_since_cycle_start():
+    sc = SelectiveCatchingProtocol(duration=100.0, n_channels=2)
+    intervals = sc.handle_request(60.0)
+    assert intervals[-1] == (60.0, 70.0)  # Delta = 60 - 50
+
+
+def test_request_at_cycle_start_needs_no_patch():
+    sc = SelectiveCatchingProtocol(duration=100.0, n_channels=2)
+    intervals = sc.handle_request(50.0)
+    # Only lazily emitted broadcast cycles, no patch.
+    assert all(start in (0.0, 50.0) for start, _ in intervals)
+
+
+def test_broadcast_cycles_flushed_at_finish():
+    sc = SelectiveCatchingProtocol(duration=100.0, n_channels=2)
+    cycles = sc.finish(200.0)
+    starts = [start for start, _ in cycles]
+    assert starts == [0.0, 50.0, 100.0, 150.0, 200.0]
+
+
+def test_channel_count_from_rate():
+    sc = SelectiveCatchingProtocol(duration=7200.0, expected_rate_per_hour=100.0)
+    assert sc.n_channels == optimal_catching_channels(100.0 / 3600.0, 7200.0)
+
+
+def test_simulation_matches_theory(rng):
+    duration, rate = 7200.0, 60.0
+    channels = optimal_catching_channels(rate / 3600.0, duration)
+    protocol = SelectiveCatchingProtocol(duration, n_channels=channels)
+    horizon = 200 * 3600.0
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.05)
+    times = PoissonArrivals(rate).generate(horizon, rng)
+    result = sim.run(times)
+    theory = staggered_catching_cost_rate(rate / 3600.0, duration, channels)
+    assert result.mean_streams == pytest.approx(theory, rel=0.08)
+
+
+def test_zero_delay():
+    sc = SelectiveCatchingProtocol(duration=100.0, n_channels=1)
+    assert sc.startup_delay(42.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SelectiveCatchingProtocol(duration=0.0, n_channels=1)
+    with pytest.raises(ConfigurationError):
+        SelectiveCatchingProtocol(duration=10.0, n_channels=0)
+    with pytest.raises(ConfigurationError):
+        SelectiveCatchingProtocol(duration=10.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.protocols.dnpb — the dynamic NPB ablation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.dnpb import DynamicPagodaProtocol
+from repro.protocols.ud import UniversalDistributionProtocol
+from repro.sim.slotted import SlottedSimulation
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+
+
+def test_constructors():
+    assert DynamicPagodaProtocol(n_streams=3).n_segments == 9
+    assert DynamicPagodaProtocol(n_segments=99).n_streams == 6
+    with pytest.raises(ConfigurationError):
+        DynamicPagodaProtocol()
+
+
+def test_idle_system_costs_nothing():
+    dnpb = DynamicPagodaProtocol(n_streams=3)
+    assert all(dnpb.slot_load(s) == 0 for s in range(10))
+
+
+def _saturated_mean(protocol, slots=400):
+    sim = SlottedSimulation(protocol, 1.0, slots, warmup_slots=slots // 4)
+    times = DeterministicArrivals(interval=0.5).generate(
+        float(slots), np.random.default_rng(0)
+    )
+    return sim.run(times).mean_streams
+
+
+def test_saturation_bounded_by_npb_streams():
+    """Dynamic NPB's bandwidth "never exceeded those of NPB"."""
+    dnpb = DynamicPagodaProtocol(n_segments=99)
+    assert _saturated_mean(dnpb) <= 6.0 + 1e-9
+
+
+def test_beats_ud_at_saturation():
+    """Section 3: dynamic NPB "bested the UD protocol at moderate to high
+    access rates"."""
+    dnpb_mean = _saturated_mean(DynamicPagodaProtocol(n_segments=99))
+    ud_mean = _saturated_mean(UniversalDistributionProtocol(n_segments=99))
+    assert dnpb_mean < ud_mean
+
+
+def test_occurrence_level_dnpb_also_wins_at_low_rates(rng):
+    """Documented deviation from Section 3 (see the module docstring).
+
+    The paper's dynamic NPB "lagged behind UD" below 40-60 requests/hour.
+    Our reconstruction shares at *occurrence* granularity — the same
+    granularity UD uses — and with it the low-rate penalty disappears: NPB's
+    longer per-segment periods mean a marked occurrence stays shareable for
+    longer, so occurrence-level dynamic NPB dominates UD at every rate.
+    This pins the (better-than-published) behaviour so any change is
+    noticed; EXPERIMENTS.md discusses the discrepancy.
+    """
+    d = 7200.0 / 99
+    slots = 3000
+
+    def mean_for(protocol, seed):
+        sim = SlottedSimulation(protocol, d, slots, warmup_slots=300)
+        times = PoissonArrivals(10.0).generate(slots * d, np.random.default_rng(seed))
+        return sim.run(times).mean_streams
+
+    dnpb_mean = mean_for(DynamicPagodaProtocol(n_segments=99), 1)
+    ud_mean = mean_for(UniversalDistributionProtocol(n_segments=99), 1)
+    assert dnpb_mean < ud_mean

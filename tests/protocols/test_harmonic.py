@@ -1,0 +1,111 @@
+"""Tests for repro.protocols.harmonic."""
+
+import pytest
+
+from repro.analysis.theory import harmonic_number
+from repro.errors import ConfigurationError
+from repro.protocols.harmonic import HarmonicBroadcasting
+
+
+def test_total_bandwidth_is_harmonic_number():
+    hb = HarmonicBroadcasting(n_segments=99, duration=7200.0)
+    assert hb.total_bandwidth == pytest.approx(harmonic_number(99))
+
+
+def test_sub_stream_bandwidths():
+    hb = HarmonicBroadcasting(n_segments=4, duration=100.0)
+    assert [hb.sub_stream_bandwidth(j) for j in range(1, 5)] == [
+        1.0, 0.5, pytest.approx(1 / 3), 0.25
+    ]
+    assert sum(hb.sub_stream_bandwidth(j) for j in range(1, 5)) == pytest.approx(
+        hb.total_bandwidth
+    )
+
+
+def test_delivery_exactly_meets_deadlines():
+    hb = HarmonicBroadcasting(n_segments=10, duration=100.0)
+    for j in range(1, 11):
+        assert hb.delivery_complete_by(j) == pytest.approx(j * hb.segment_duration)
+
+
+def test_max_wait():
+    hb = HarmonicBroadcasting(n_segments=99, duration=7200.0)
+    assert hb.max_wait == pytest.approx(7200.0 / 99)
+
+
+def test_harmonic_undershoots_pagoda_and_fb():
+    """Equal-bandwidth stream protocols can only approximate H(n)."""
+    from repro.protocols.fb import fb_streams_for_segments
+    from repro.protocols.npb import pagoda_streams_for_segments
+
+    hb = HarmonicBroadcasting(n_segments=99, duration=7200.0)
+    assert hb.total_bandwidth < pagoda_streams_for_segments(99)
+    assert hb.total_bandwidth < fb_streams_for_segments(99)
+
+
+class TestPolyharmonic:
+    def test_m_one_is_classic_harmonic(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        phb = PolyharmonicBroadcasting(n_segments=50, duration=1000.0, m=1)
+        hb = HarmonicBroadcasting(n_segments=50, duration=1000.0)
+        assert phb.total_bandwidth == pytest.approx(hb.total_bandwidth)
+        assert phb.max_wait == pytest.approx(hb.max_wait)
+
+    def test_bandwidth_formula(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        phb = PolyharmonicBroadcasting(n_segments=4, duration=100.0, m=3)
+        # sum 1/(m+j-1) for j=1..4 = 1/3 + 1/4 + 1/5 + 1/6.
+        assert phb.total_bandwidth == pytest.approx(1 / 3 + 1 / 4 + 1 / 5 + 1 / 6)
+
+    def test_larger_m_trades_wait_for_bandwidth(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        bandwidths, waits = [], []
+        for m in (1, 2, 4, 8):
+            phb = PolyharmonicBroadcasting(n_segments=99, duration=7200.0, m=m)
+            bandwidths.append(phb.total_bandwidth)
+            waits.append(phb.max_wait)
+        assert bandwidths == sorted(bandwidths, reverse=True)
+        assert waits == sorted(waits)
+
+    def test_preloading_removes_wait_and_substreams(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        phb = PolyharmonicBroadcasting(
+            n_segments=10, duration=100.0, m=3, preloaded=3
+        )
+        assert phb.max_wait == 0.0
+        assert phb.sub_stream_bandwidth(2) == 0.0
+        assert phb.sub_stream_bandwidth(4) == pytest.approx(1 / 6)
+        assert phb.delivery_complete_by(1) == 0.0
+
+    def test_delivery_always_on_time(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        phb = PolyharmonicBroadcasting(n_segments=20, duration=400.0, m=5)
+        d = phb.segment_duration
+        for j in range(1, 21):
+            playout_start = (phb.m + j - 1) * d
+            assert phb.delivery_complete_by(j) <= playout_start + 1e-9
+
+    def test_validation(self):
+        from repro.protocols.harmonic import PolyharmonicBroadcasting
+
+        with pytest.raises(ConfigurationError):
+            PolyharmonicBroadcasting(n_segments=5, duration=10.0, m=0)
+        with pytest.raises(ConfigurationError):
+            PolyharmonicBroadcasting(n_segments=5, duration=10.0, preloaded=6)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HarmonicBroadcasting(n_segments=0, duration=100.0)
+    with pytest.raises(ConfigurationError):
+        HarmonicBroadcasting(n_segments=5, duration=0.0)
+    hb = HarmonicBroadcasting(n_segments=5, duration=100.0)
+    with pytest.raises(ConfigurationError):
+        hb.sub_stream_bandwidth(6)
+    with pytest.raises(ConfigurationError):
+        hb.delivery_complete_by(0)

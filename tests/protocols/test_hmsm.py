@@ -1,0 +1,110 @@
+"""Tests for repro.protocols.hmsm — hierarchical multicast stream merging."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import evz_lower_bound, patching_cost_rate
+from repro.errors import ConfigurationError
+from repro.protocols.hmsm import HMSMProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+
+def collect(protocol, times, horizon):
+    intervals = []
+    for t in times:
+        intervals.extend(protocol.handle_request(t))
+    intervals.extend(protocol.finish(horizon))
+    return sorted(intervals)
+
+
+def test_single_request_full_stream():
+    hmsm = HMSMProtocol(duration=100.0)
+    assert collect(hmsm, [0.0], 1000.0) == [(0.0, 100.0)]
+
+
+def test_second_request_merges_after_gap():
+    hmsm = HMSMProtocol(duration=100.0)
+    intervals = collect(hmsm, [0.0, 10.0], 1000.0)
+    assert intervals == [(0.0, 100.0), (10.0, 20.0)]
+    assert hmsm.merges == 1
+
+
+def test_chain_merges_hierarchically():
+    """Three arrivals: the third merges into the second, then both ride the
+    root; the second's own stream lives for its gap to the root."""
+    hmsm = HMSMProtocol(duration=1000.0)
+    intervals = collect(hmsm, [0.0, 10.0, 14.0], 5000.0)
+    by_start = {start: end for start, end in intervals}
+    assert by_start[0.0] == 1000.0
+    # Stream started at 10 targets the root (gap 10): merges at 20.
+    assert by_start[10.0] == 20.0
+    # Stream started at 14 targets stream@10 (gap 4): would merge at 18,
+    # and 18 < 20 so its target is still alive — no re-targeting needed.
+    assert by_start[14.0] == 18.0
+
+
+def test_retargeting_extends_stream_conservatively():
+    """When the target dies first, the listener re-targets with a larger
+    effective gap."""
+    hmsm = HMSMProtocol(duration=1000.0)
+    # Stream B at t=10 merges into root at t=20.  Stream C at t=19 targeted
+    # B (gap 9, would merge at 28), but B dies at 20: C re-targets the root
+    # with effective gap (20 - 0) = 20, so C's stream runs until 10 + ...
+    intervals = collect(hmsm, [0.0, 10.0, 19.0], 5000.0)
+    by_start = {start: end for start, end in intervals}
+    assert by_start[10.0] == 20.0
+    # C (started 19) now needs to cover [0, 20): merges at 19 + 20 = 39.
+    assert by_start[19.0] == 39.0
+
+
+def test_group_expires_and_restarts():
+    hmsm = HMSMProtocol(duration=100.0)
+    intervals = collect(hmsm, [0.0, 150.0], 1000.0)
+    assert (0.0, 100.0) in intervals
+    assert (150.0, 250.0) in intervals
+
+
+def test_streams_never_outlive_video():
+    hmsm = HMSMProtocol(duration=100.0)
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, 500.0, size=80))
+    intervals = collect(hmsm, [float(t) for t in times], 2000.0)
+    for start, end in intervals:
+        assert end - start <= 100.0 + 1e-9
+        assert end > start >= 0.0
+
+
+def test_cost_between_evz_bound_and_patching(rng):
+    duration, rate = 7200.0, 50.0
+    horizon = 150 * 3600.0
+    protocol = HMSMProtocol(duration)
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.05)
+    times = PoissonArrivals(rate).generate(horizon, rng)
+    result = sim.run(times)
+    lam = rate / 3600.0
+    assert result.mean_streams >= evz_lower_bound(lam, duration) * 0.95
+    assert result.mean_streams < patching_cost_rate(lam, duration)
+
+
+def test_logarithmic_growth(rng):
+    """Doubling the rate adds roughly a constant, not a factor."""
+    duration = 7200.0
+    means = []
+    for rate in (25.0, 100.0, 400.0):
+        horizon = 80 * 3600.0
+        sim = ContinuousSimulation(HMSMProtocol(duration), horizon,
+                                   warmup=horizon * 0.05)
+        times = PoissonArrivals(rate).generate(horizon, rng)
+        means.append(sim.run(times).mean_streams)
+    assert means[1] - means[0] < 0.6 * means[0]
+    assert means[2] - means[1] < means[1] - means[0] + 1.0
+
+
+def test_zero_delay():
+    assert HMSMProtocol(100.0).startup_delay(5.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        HMSMProtocol(duration=0.0)

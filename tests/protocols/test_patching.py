@@ -1,0 +1,69 @@
+"""Tests for repro.protocols.patching."""
+
+import pytest
+
+from repro.analysis.theory import optimal_patching_window, patching_cost_rate
+from repro.errors import ConfigurationError
+from repro.protocols.patching import PatchingProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+
+def test_first_request_gets_complete_stream():
+    p = PatchingProtocol(duration=100.0, window=30.0)
+    assert p.handle_request(0.0) == [(0.0, 100.0)]
+
+
+def test_patch_length_is_delta():
+    p = PatchingProtocol(duration=100.0, window=30.0)
+    p.handle_request(0.0)
+    assert p.handle_request(12.0) == [(12.0, 24.0)]
+
+
+def test_simultaneous_request_is_free():
+    p = PatchingProtocol(duration=100.0, window=30.0)
+    p.handle_request(0.0)
+    assert p.handle_request(0.0) == []
+
+
+def test_window_restart():
+    p = PatchingProtocol(duration=100.0, window=30.0)
+    p.handle_request(0.0)
+    assert p.handle_request(31.0) == [(31.0, 131.0)]
+    assert p.complete_streams == 2
+
+
+def test_expired_group_restarts():
+    p = PatchingProtocol(duration=100.0, window=1e9)
+    p.handle_request(0.0)
+    assert p.handle_request(120.0) == [(120.0, 220.0)]
+
+
+def test_optimal_window_from_rate():
+    p = PatchingProtocol(duration=7200.0, expected_rate_per_hour=10.0)
+    assert p.window == pytest.approx(optimal_patching_window(10.0 / 3600.0, 7200.0))
+
+
+def test_simulation_matches_theory(rng):
+    duration, rate = 7200.0, 30.0
+    protocol = PatchingProtocol(duration, expected_rate_per_hour=rate)
+    horizon = 500 * 3600.0
+    sim = ContinuousSimulation(protocol, horizon, warmup=horizon * 0.04)
+    times = PoissonArrivals(rate).generate(horizon, rng)
+    result = sim.run(times)
+    theory = patching_cost_rate(rate / 3600.0, duration)
+    assert result.mean_streams == pytest.approx(theory, rel=0.08)
+
+
+def test_zero_delay():
+    p = PatchingProtocol(duration=10.0, window=1.0)
+    assert p.startup_delay(3.0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        PatchingProtocol(duration=0.0, window=1.0)
+    with pytest.raises(ConfigurationError):
+        PatchingProtocol(duration=10.0)
+    with pytest.raises(ConfigurationError):
+        PatchingProtocol(duration=10.0, window=-1.0)

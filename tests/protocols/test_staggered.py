@@ -1,0 +1,44 @@
+"""Tests for repro.protocols.staggered."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.staggered import StaggeredBroadcasting
+
+
+def test_constant_load():
+    stag = StaggeredBroadcasting(n_channels=5, duration=7200.0)
+    stag.handle_request(3)
+    assert stag.slot_load(0) == 5
+    assert stag.slot_load(99999) == 5
+    assert stag.requests_admitted == 1
+
+
+def test_waiting_times():
+    stag = StaggeredBroadcasting(n_channels=4, duration=7200.0)
+    assert stag.slot_duration == 1800.0
+    assert stag.max_wait == 1800.0
+    assert stag.mean_wait == 900.0
+
+
+def test_more_channels_shorter_wait():
+    waits = [
+        StaggeredBroadcasting(n_channels=c, duration=7200.0).max_wait
+        for c in (1, 2, 10, 100)
+    ]
+    assert waits == sorted(waits, reverse=True)
+
+
+def test_staggered_is_far_worse_than_segment_protocols():
+    """Matching DHB's 73-second wait would need 99 channels vs ~5-6 streams
+    — the gap the buffering-based protocols opened."""
+    matching = StaggeredBroadcasting(n_channels=99, duration=7200.0)
+    assert matching.max_wait == pytest.approx(7200.0 / 99)
+    assert matching.slot_load(0) == 99
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        StaggeredBroadcasting(n_channels=0, duration=10.0)
+    with pytest.raises(ConfigurationError):
+        StaggeredBroadcasting(n_channels=1, duration=0.0)

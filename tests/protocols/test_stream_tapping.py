@@ -1,0 +1,126 @@
+"""Tests for repro.protocols.stream_tapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.stream_tapping import StreamTappingProtocol
+from repro.sim.continuous import ContinuousSimulation
+from repro.workload.arrivals import PoissonArrivals
+
+
+def make(duration=100.0, **kwargs):
+    kwargs.setdefault("expected_rate_per_hour", 360.0)
+    return StreamTappingProtocol(duration=duration, **kwargs)
+
+
+def test_first_request_gets_complete_stream():
+    st = make()
+    assert st.handle_request(0.0) == [(0.0, 100.0)]
+    assert st.complete_streams == 1
+
+
+def test_second_request_full_tap():
+    st = make()
+    st.handle_request(0.0)
+    assert st.handle_request(4.0) == [(4.0, 8.0)]
+
+
+def test_extra_tapping_reduces_cost():
+    st = make()
+    st.handle_request(0.0)
+    st.handle_request(4.0)
+    pieces = st.handle_request(6.0)
+    # Taps [2,4) of the previous 4-second tap: pays 2*(6-4) = 4 s total.
+    assert pieces == [(6.0, 8.0), (10.0, 12.0)]
+    total = sum(end - start for start, end in pieces)
+    assert total == pytest.approx(4.0)
+
+
+def test_without_extra_tapping_cost_is_delta():
+    st = make(extra_tapping=False)
+    st.handle_request(0.0)
+    st.handle_request(4.0)
+    pieces = st.handle_request(6.0)
+    assert pieces == [(6.0, 12.0)]  # the whole 6-second prefix
+
+
+def test_chained_taps_across_many_members():
+    """Manual trace of extra tapping at a steady 10-second cadence.
+
+    A member's pieces are transmitted just-in-time, so a newcomer can only
+    capture positions >= (its arrival - the member's arrival):
+
+    * t=10: nothing to tap -> pays its 10 s prefix, pieces [0,10).
+    * t=20: the t=10 member finished transmitting exactly at 20 -> pays 20.
+    * t=30: taps [10,20) from the t=20 member -> pays [0,10) + [20,30) = 20.
+    * t=40: only [20,30) of the t=30 member is still capturable -> pays 30.
+    """
+    st = make(restart_window=1000.0, duration=1000.0)
+    st.handle_request(0.0)
+    costs = []
+    for t in [10.0, 20.0, 30.0, 40.0]:
+        pieces = st.handle_request(t)
+        costs.append(sum(e - s for s, e in pieces))
+    assert costs == pytest.approx([10.0, 20.0, 20.0, 30.0])
+    # Every cost is bounded by the full-tap fallback.
+    for t, cost in zip([10.0, 20.0, 30.0, 40.0], costs):
+        assert cost <= t
+
+
+def test_restart_window_triggers_new_complete_stream():
+    st = make(restart_window=10.0)
+    st.handle_request(0.0)
+    result = st.handle_request(50.0)
+    assert result == [(50.0, 150.0)]
+    assert st.complete_streams == 2
+
+
+def test_group_expires_with_video_end():
+    st = make(restart_window=1e9)
+    st.handle_request(0.0)
+    result = st.handle_request(150.0)  # past the end of the complete stream
+    assert result == [(150.0, 250.0)]
+    assert st.complete_streams == 2
+
+
+def test_optimal_window_used_when_rate_given():
+    st = StreamTappingProtocol(duration=7200.0, expected_rate_per_hour=10.0)
+    window = st.restart_window()
+    lam = 10.0 / 3600.0
+    expected = (np.sqrt(1 + 2 * lam * 7200.0) - 1) / lam
+    assert window == pytest.approx(expected)
+
+
+def test_online_rate_estimate_adapts():
+    st = StreamTappingProtocol(duration=7200.0)
+    assert st.restart_window() == pytest.approx(7200.0)  # no estimate yet
+    for t in np.arange(0.0, 3600.0, 60.0):
+        st.handle_request(float(t))
+    # ~60 requests/hour: the adaptive window must now be far below D.
+    assert st.restart_window() < 3000.0
+
+
+def test_zero_delay():
+    assert make().startup_delay(5.0) == 0.0
+
+
+def test_mean_cost_tracks_patching_theory(rng):
+    """With extra tapping the measured cost must beat plain patching but
+    stay in its ballpark."""
+    from repro.analysis.theory import patching_cost_rate
+
+    duration, rate = 7200.0, 20.0
+    st = StreamTappingProtocol(duration, expected_rate_per_hour=rate)
+    horizon = 400 * 3600.0
+    sim = ContinuousSimulation(st, horizon, warmup=horizon * 0.05)
+    times = PoissonArrivals(rate).generate(horizon, rng)
+    result = sim.run(times)
+    theory = patching_cost_rate(rate / 3600.0, duration)
+    assert result.mean_streams <= theory * 1.05
+    assert result.mean_streams >= theory * 0.5
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        StreamTappingProtocol(duration=0.0)

@@ -1,0 +1,57 @@
+"""Tests for repro.protocols.ud — the Universal Distribution protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.ud import UniversalDistributionProtocol
+from repro.sim.slotted import SlottedSimulation
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+
+
+def test_99_segments_use_seven_fb_streams():
+    ud = UniversalDistributionProtocol(n_segments=99)
+    assert ud.n_streams == 7
+    assert ud.n_segments == 99
+
+
+def test_idle_system_costs_nothing():
+    ud = UniversalDistributionProtocol(n_segments=7)
+    assert all(ud.slot_load(s) == 0 for s in range(10))
+
+
+def test_single_request_costs_at_most_one_instance_per_segment():
+    ud = UniversalDistributionProtocol(n_segments=7)
+    ud.handle_request(slot=0)
+    total = sum(ud.slot_load(s) for s in range(1, 10))
+    assert total == 7
+
+
+def test_saturation_reverts_to_fb():
+    """"Above 200 requests per hour ... the UD reverts to a conventional FB
+    protocol": under one request per slot every channel occurrence runs."""
+    ud = UniversalDistributionProtocol(n_segments=15)
+    sim = SlottedSimulation(ud, slot_duration=1.0, horizon_slots=300, warmup_slots=50)
+    times = DeterministicArrivals(interval=0.5).generate(300.0, np.random.default_rng(0))
+    result = sim.run(times)
+    assert result.mean_streams == pytest.approx(4.0)  # FB k for 15 segments
+    assert result.max_streams == 4
+
+
+def test_low_rate_far_below_fb(rng):
+    ud = UniversalDistributionProtocol(n_segments=63)
+    d = 7200.0 / 63
+    sim = SlottedSimulation(ud, slot_duration=d, horizon_slots=2000, warmup_slots=200)
+    times = PoissonArrivals(2.0).generate(2000 * d, rng)
+    result = sim.run(times)
+    assert result.mean_streams < 3.0  # FB would pay 6 always
+
+
+def test_streams_constructor():
+    ud = UniversalDistributionProtocol(n_streams=4)
+    assert ud.n_segments == 15
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        UniversalDistributionProtocol()

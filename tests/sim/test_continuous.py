@@ -1,0 +1,82 @@
+"""Tests for repro.sim.continuous."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.continuous import ContinuousSimulation, ReactiveModel
+
+
+class FixedCostProtocol(ReactiveModel):
+    """Every request costs one stream of a fixed length."""
+
+    def __init__(self, stream_length, wait=0.0):
+        self.stream_length = stream_length
+        self.wait = wait
+
+    def handle_request(self, time):
+        return [(time, time + self.stream_length)]
+
+    def startup_delay(self, time):
+        return self.wait
+
+
+class FlushingProtocol(ReactiveModel):
+    """Emits a standing interval only at finish()."""
+
+    def handle_request(self, time):
+        return []
+
+    def finish(self, horizon):
+        return [(0.0, horizon)]
+
+
+def test_mean_concurrency_matches_load():
+    protocol = FixedCostProtocol(stream_length=10.0)
+    sim = ContinuousSimulation(protocol, horizon=100.0)
+    result = sim.run([0.0, 50.0])
+    assert result.mean_streams == pytest.approx(20.0 / 100.0)
+    assert result.max_streams == 1
+
+
+def test_overlapping_streams_peak():
+    protocol = FixedCostProtocol(stream_length=10.0)
+    sim = ContinuousSimulation(protocol, horizon=100.0)
+    result = sim.run([0.0, 1.0, 2.0])
+    assert result.max_streams == 3
+
+
+def test_warmup_clipping():
+    protocol = FixedCostProtocol(stream_length=10.0)
+    sim = ContinuousSimulation(protocol, horizon=100.0, warmup=50.0)
+    result = sim.run([0.0, 45.0, 60.0])
+    # first stream entirely in warmup; second half-clipped; third full
+    assert result.mean_streams == pytest.approx((5.0 + 10.0) / 50.0)
+    assert result.n_requests == 1  # only the post-warmup arrival measured
+
+
+def test_waiting_time_recorded():
+    protocol = FixedCostProtocol(stream_length=1.0, wait=3.0)
+    sim = ContinuousSimulation(protocol, horizon=10.0)
+    result = sim.run([1.0, 2.0])
+    assert result.mean_wait == pytest.approx(3.0)
+    assert result.max_wait == pytest.approx(3.0)
+
+
+def test_arrivals_beyond_horizon_ignored():
+    protocol = FixedCostProtocol(stream_length=1.0)
+    sim = ContinuousSimulation(protocol, horizon=10.0)
+    result = sim.run([1.0, 11.0])
+    assert result.n_requests == 1
+
+
+def test_finish_hook_flushes_standing_intervals():
+    sim = ContinuousSimulation(FlushingProtocol(), horizon=10.0)
+    result = sim.run([])
+    assert result.mean_streams == pytest.approx(1.0)
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        ContinuousSimulation(FixedCostProtocol(1.0), horizon=10.0, warmup=10.0)
+    with pytest.raises(ConfigurationError):
+        ContinuousSimulation(FixedCostProtocol(1.0), horizon=10.0, warmup=-1.0)

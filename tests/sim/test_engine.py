@@ -1,0 +1,122 @@
+"""Tests for repro.sim.engine and repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+from repro.sim.events import Event
+
+
+def test_events_fire_in_time_order():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(3.0, lambda: fired.append("c"))
+    engine.schedule(1.0, lambda: fired.append("a"))
+    engine.schedule(2.0, lambda: fired.append("b"))
+    engine.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    engine = EventEngine()
+    fired = []
+    for tag in "abcde":
+        engine.schedule(1.0, lambda t=tag: fired.append(t))
+    engine.run_until(1.0)
+    assert fired == list("abcde")
+
+
+def test_run_until_advances_clock_even_without_events():
+    engine = EventEngine()
+    engine.run_until(42.0)
+    assert engine.now == 42.0
+
+
+def test_events_beyond_horizon_stay_queued():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append("later"))
+    engine.run_until(4.0)
+    assert fired == []
+    assert engine.pending == 1
+    engine.run_until(5.0)
+    assert fired == ["later"]
+
+
+def test_scheduling_in_the_past_raises():
+    engine = EventEngine()
+    engine.run_until(10.0)
+    with pytest.raises(SimulationError):
+        engine.schedule(5.0, lambda: None)
+
+
+def test_schedule_in_negative_delay_raises():
+    engine = EventEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule_in(-1.0, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    engine = EventEngine()
+    fired = []
+    event = engine.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    engine.run_until(2.0)
+    assert fired == []
+    assert engine.events_fired == 0
+
+
+def test_events_scheduled_during_execution_run_within_horizon():
+    engine = EventEngine()
+    fired = []
+
+    def chain():
+        fired.append("first")
+        engine.schedule_in(1.0, lambda: fired.append("second"))
+
+    engine.schedule(1.0, chain)
+    engine.run_until(3.0)
+    assert fired == ["first", "second"]
+
+
+def test_run_to_exhaustion_drains_queue():
+    engine = EventEngine()
+    count = []
+    for i in range(10):
+        engine.schedule(float(i), lambda: count.append(1))
+    engine.run_to_exhaustion()
+    assert len(count) == 10
+
+
+def test_run_to_exhaustion_bounds_runaway():
+    engine = EventEngine()
+
+    def rearm():
+        engine.schedule_in(1.0, rearm)
+
+    engine.schedule(0.0, rearm)
+    with pytest.raises(SimulationError):
+        engine.run_to_exhaustion(max_events=100)
+
+
+def test_horizon_before_now_raises():
+    engine = EventEngine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(5.0)
+
+
+def test_peek_time_skips_cancelled():
+    engine = EventEngine()
+    first = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_event_ordering_dataclass():
+    a = Event(1.0, lambda: None)
+    b = Event(2.0, lambda: None)
+    assert a < b
+    earlier_seq = Event(3.0, lambda: None)
+    later_seq = Event(3.0, lambda: None)
+    assert earlier_seq < later_seq

@@ -1,0 +1,105 @@
+"""Tests for repro.sim.recorder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.recorder import SlotLoadRecorder, TimeWeightedRecorder
+
+
+class TestSlotLoadRecorder:
+    def test_basic_stats(self):
+        rec = SlotLoadRecorder()
+        for slot, load in enumerate([1, 2, 3]):
+            rec.record(slot, load)
+        assert rec.mean_load == pytest.approx(2.0)
+        assert rec.max_load == 3
+        assert rec.slots_measured == 3
+
+    def test_warmup_discarded(self):
+        rec = SlotLoadRecorder(warmup_slots=2)
+        rec.record(0, 100)
+        rec.record(1, 100)
+        rec.record(2, 1)
+        rec.record(3, 3)
+        assert rec.mean_load == pytest.approx(2.0)
+        assert rec.max_load == 3
+
+    def test_series_kept_only_when_asked(self):
+        rec = SlotLoadRecorder(keep_series=True)
+        rec.record(0, 5)
+        assert rec.series == [5]
+        rec2 = SlotLoadRecorder()
+        rec2.record(0, 5)
+        assert rec2.series == []
+
+    def test_negative_load_rejected(self):
+        rec = SlotLoadRecorder()
+        with pytest.raises(SimulationError):
+            rec.record(0, -1)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            SlotLoadRecorder(warmup_slots=-1)
+
+    def test_empty_recorder(self):
+        rec = SlotLoadRecorder()
+        assert rec.mean_load == 0.0
+        assert rec.max_load == 0.0
+
+
+class TestTimeWeightedRecorder:
+    def test_single_interval(self):
+        rec = TimeWeightedRecorder(0.0, 10.0)
+        rec.add_interval(2.0, 7.0)
+        assert rec.mean_concurrency() == pytest.approx(0.5)
+        assert rec.max_concurrency() == 1
+
+    def test_overlap_counted(self):
+        rec = TimeWeightedRecorder(0.0, 10.0)
+        rec.add_intervals([(0.0, 5.0), (2.0, 8.0), (4.0, 6.0)])
+        assert rec.max_concurrency() == 3
+        assert rec.mean_concurrency() == pytest.approx((5 + 6 + 2) / 10.0)
+
+    def test_clipping_to_window(self):
+        rec = TimeWeightedRecorder(10.0, 20.0)
+        rec.add_interval(0.0, 15.0)   # clipped to [10, 15)
+        rec.add_interval(18.0, 30.0)  # clipped to [18, 20)
+        assert rec.total_busy_time() == pytest.approx(7.0)
+
+    def test_interval_outside_window_ignored(self):
+        rec = TimeWeightedRecorder(10.0, 20.0)
+        rec.add_interval(0.0, 5.0)
+        rec.add_interval(25.0, 30.0)
+        assert rec.mean_concurrency() == 0.0
+        assert rec.max_concurrency() == 0
+
+    def test_back_to_back_intervals_not_double_counted(self):
+        rec = TimeWeightedRecorder(0.0, 10.0)
+        rec.add_interval(0.0, 5.0)
+        rec.add_interval(5.0, 10.0)
+        assert rec.max_concurrency() == 1
+
+    def test_reversed_interval_rejected(self):
+        rec = TimeWeightedRecorder(0.0, 10.0)
+        with pytest.raises(SimulationError):
+            rec.add_interval(5.0, 4.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeWeightedRecorder(5.0, 5.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda p: (min(p), max(p))
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_mean_never_exceeds_max(self, intervals):
+        rec = TimeWeightedRecorder(0.0, 100.0)
+        rec.add_intervals(intervals)
+        assert rec.mean_concurrency() <= rec.max_concurrency() + 1e-12

@@ -1,0 +1,64 @@
+"""Tests for repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(1).get("arrivals").random(5)
+    b = RandomStreams(1).get("arrivals").random(5)
+    assert np.allclose(a, b)
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(1)
+    a = streams.get("arrivals").random(100)
+    b = streams.get("video").random(100)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).get("arrivals").random(5)
+    b = RandomStreams(2).get("arrivals").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(3)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_adding_a_stream_does_not_perturb_others():
+    solo = RandomStreams(5)
+    solo_draw = solo.get("arrivals").random(10)
+
+    mixed = RandomStreams(5)
+    mixed.get("completely-unrelated").random(10)
+    mixed_draw = mixed.get("arrivals").random(10)
+    assert np.allclose(solo_draw, mixed_draw)
+
+
+def test_spawn_is_deterministic():
+    a = RandomStreams(7).spawn("rep-1").get("x").random(3)
+    b = RandomStreams(7).spawn("rep-1").get("x").random(3)
+    c = RandomStreams(7).spawn("rep-2").get("x").random(3)
+    assert np.allclose(a, b)
+    assert not np.allclose(a, c)
+
+
+def test_seed_property():
+    assert RandomStreams(17).seed == 17
+
+
+@pytest.mark.parametrize("bad", ["nope", 1.5, None])
+def test_non_integer_seed_rejected(bad):
+    with pytest.raises(ConfigurationError):
+        RandomStreams(bad)
+
+
+def test_empty_stream_name_rejected():
+    with pytest.raises(ConfigurationError):
+        RandomStreams(1).get("")

@@ -1,0 +1,96 @@
+"""Tests for repro.smoothing.optimal — the funnel smoothing algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SmoothingError
+from repro.smoothing.optimal import optimal_smoothing_schedule
+from repro.smoothing.workahead import minimum_workahead_rate
+from repro.video.vbr import VBRVideo
+
+
+def _check_feasible(video, schedule, buffer_bytes, delay):
+    """The plan must stay within [L, U] at every sampled second."""
+    horizon = video.duration + delay
+    for t in np.arange(0.0, np.floor(horizon) + 1.0):
+        t = min(t, horizon)
+        sent = schedule.cumulative_at(t)
+        consumed = video.cumulative_bytes(t - delay)
+        assert sent >= consumed - 1e-6, f"underflow at t={t}"
+        assert sent <= consumed + buffer_bytes + 1e-6, f"overflow at t={t}"
+    assert schedule.cumulative_at(horizon) == pytest.approx(
+        video.total_bytes, rel=1e-9
+    )
+
+
+def test_cbr_like_trace_smooths_to_constant():
+    video = VBRVideo([100.0] * 20)
+    schedule = optimal_smoothing_schedule(video, buffer_bytes=1e9, startup_delay=5.0)
+    assert len(schedule.pieces) == 1
+    assert schedule.peak_rate == pytest.approx(2000.0 / 25.0)
+
+
+def test_unlimited_buffer_matches_workahead_minimum(tiny_vbr):
+    delay = 2.0
+    schedule = optimal_smoothing_schedule(tiny_vbr, buffer_bytes=1e12, startup_delay=delay)
+    minimum = minimum_workahead_rate(tiny_vbr, delay)
+    assert schedule.peak_rate == pytest.approx(minimum, rel=1e-6)
+
+
+def test_feasibility(tiny_vbr):
+    buffer_bytes = 500.0
+    schedule = optimal_smoothing_schedule(tiny_vbr, buffer_bytes, startup_delay=1.0)
+    _check_feasible(tiny_vbr, schedule, buffer_bytes, 1.0)
+
+
+def test_small_buffer_raises_peak(tiny_vbr):
+    big = optimal_smoothing_schedule(tiny_vbr, 1e12, 1.0).peak_rate
+    small = optimal_smoothing_schedule(tiny_vbr, 300.0, 1.0).peak_rate
+    assert small >= big - 1e-9
+
+
+def test_peak_never_exceeds_trace_peak(tiny_vbr):
+    schedule = optimal_smoothing_schedule(
+        tiny_vbr, buffer_bytes=tiny_vbr.peak_bandwidth(), startup_delay=0.0
+    )
+    assert schedule.peak_rate <= tiny_vbr.peak_bandwidth() + 1e-9
+
+
+def test_pieces_are_contiguous(tiny_vbr):
+    schedule = optimal_smoothing_schedule(tiny_vbr, 400.0, 1.0)
+    for a, b in zip(schedule.pieces, schedule.pieces[1:]):
+        assert a.end == pytest.approx(b.start)
+    assert schedule.pieces[0].start == 0.0
+
+
+def test_total_bytes_delivered(tiny_vbr):
+    schedule = optimal_smoothing_schedule(tiny_vbr, 600.0, 2.0)
+    assert schedule.total_bytes == pytest.approx(tiny_vbr.total_bytes, rel=1e-9)
+
+
+def test_buffer_below_burst_rejected():
+    video = VBRVideo([10.0, 500.0, 10.0])
+    with pytest.raises(SmoothingError):
+        optimal_smoothing_schedule(video, buffer_bytes=100.0, startup_delay=1.0)
+
+
+def test_invalid_parameters(tiny_vbr):
+    with pytest.raises(SmoothingError):
+        optimal_smoothing_schedule(tiny_vbr, 0.0, 1.0)
+    with pytest.raises(SmoothingError):
+        optimal_smoothing_schedule(tiny_vbr, 100.0, -1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.floats(10.0, 300.0), min_size=3, max_size=40),
+    buffer_factor=st.floats(1.0, 10.0),
+    delay=st.sampled_from([0.0, 1.0, 4.0]),
+)
+def test_feasibility_property(trace, buffer_factor, delay):
+    video = VBRVideo(trace)
+    buffer_bytes = buffer_factor * video.peak_bandwidth()
+    schedule = optimal_smoothing_schedule(video, buffer_bytes, delay)
+    _check_feasible(video, schedule, buffer_bytes, delay)

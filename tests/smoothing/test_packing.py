@@ -1,0 +1,69 @@
+"""Tests for repro.smoothing.packing."""
+
+import pytest
+
+from repro.errors import SmoothingError
+from repro.smoothing.packing import pack_video
+from repro.smoothing.workahead import minimum_workahead_rate
+from repro.video.model import CBRVideo
+from repro.video.vbr import VBRVideo
+
+
+def test_cbr_packs_into_playout_segments():
+    video = CBRVideo(duration=100.0, rate=1.0)
+    packed = pack_video(video, slot_duration=10.0)
+    # At the minimum rate the video exactly fills the (D + d) reception
+    # window: 100 bytes / (0.9090.. * 10 per chunk) = 11 chunks.
+    assert packed.n_segments == 11
+    assert packed.rate == pytest.approx(minimum_workahead_rate(video, 10.0))
+
+
+def test_segments_cover_all_bytes(tiny_vbr):
+    packed = pack_video(tiny_vbr, slot_duration=3.0)
+    assert packed.n_segments * packed.bytes_per_segment >= tiny_vbr.total_bytes - 1e-9
+    assert (packed.n_segments - 1) * packed.bytes_per_segment < tiny_vbr.total_bytes
+
+
+def test_first_byte_playout_times_monotone(tiny_vbr):
+    packed = pack_video(tiny_vbr, slot_duration=2.0)
+    times = packed.first_byte_playout_times
+    assert times[0] == 0.0
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    assert len(times) == packed.n_segments
+
+
+def test_explicit_rate_respected(tiny_vbr):
+    minimum = minimum_workahead_rate(tiny_vbr, 3.0)
+    packed = pack_video(tiny_vbr, slot_duration=3.0, rate=minimum * 2)
+    assert packed.rate == pytest.approx(minimum * 2)
+    assert packed.n_segments <= pack_video(tiny_vbr, 3.0).n_segments
+
+
+def test_rate_below_minimum_rejected(tiny_vbr):
+    minimum = minimum_workahead_rate(tiny_vbr, 3.0)
+    with pytest.raises(SmoothingError):
+        pack_video(tiny_vbr, slot_duration=3.0, rate=minimum * 0.5)
+
+
+def test_invalid_slot_duration(tiny_vbr):
+    with pytest.raises(SmoothingError):
+        pack_video(tiny_vbr, slot_duration=0.0)
+
+
+def test_quiet_opening_defers_first_bytes():
+    # Opening consumes little, so chunk 2 is not needed until late.
+    video = VBRVideo([10.0] * 20 + [300.0] * 4)
+    packed = pack_video(video, slot_duration=1.0)
+    # Chunk 1 holds `rate` bytes, entirely inside the 200-byte quiet
+    # opening, so chunk 2's first byte is needed only after rate/10 seconds.
+    assert packed.rate < 200.0
+    assert packed.first_byte_playout_times[1] == pytest.approx(packed.rate / 10.0)
+
+
+def test_generic_video_fallback_bisection():
+    # CBRVideo has no playout_time_for_bytes; exercises the bisection path.
+    video = CBRVideo(duration=50.0, rate=4.0)
+    packed = pack_video(video, slot_duration=5.0)
+    for chunk_index, playout in enumerate(packed.first_byte_playout_times):
+        expected = chunk_index * packed.bytes_per_segment / 4.0
+        assert playout == pytest.approx(expected, abs=1e-6)

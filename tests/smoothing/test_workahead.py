@@ -1,0 +1,78 @@
+"""Tests for repro.smoothing.workahead."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SmoothingError
+from repro.smoothing.workahead import is_rate_feasible, minimum_workahead_rate
+from repro.video.model import CBRVideo
+from repro.video.vbr import VBRVideo
+
+
+def test_cbr_with_delay_needs_less_than_consumption_rate():
+    video = CBRVideo(duration=100.0, rate=1.0)
+    rate = minimum_workahead_rate(video, startup_delay=10.0)
+    assert rate == pytest.approx(100.0 / 110.0)
+
+
+def test_cbr_without_delay_needs_full_rate():
+    video = CBRVideo(duration=100.0, rate=2.0)
+    assert minimum_workahead_rate(video, 0.0) == pytest.approx(2.0)
+
+
+def test_front_loaded_video_binds_early():
+    video = VBRVideo([100.0, 10.0, 10.0, 10.0])
+    rate = minimum_workahead_rate(video, startup_delay=0.0)
+    assert rate == pytest.approx(100.0)  # first second dominates
+
+
+def test_back_loaded_video_binds_at_end():
+    video = VBRVideo([10.0, 10.0, 10.0, 100.0])
+    rate = minimum_workahead_rate(video, startup_delay=0.0)
+    assert rate == pytest.approx(130.0 / 4.0)
+
+
+def test_rate_never_below_long_run_requirement(tiny_vbr):
+    delay = 2.0
+    rate = minimum_workahead_rate(tiny_vbr, delay)
+    assert rate >= tiny_vbr.total_bytes / (tiny_vbr.duration + delay) - 1e-9
+
+
+def test_minimum_rate_is_feasible_and_tight(tiny_vbr):
+    rate = minimum_workahead_rate(tiny_vbr, 2.0)
+    assert is_rate_feasible(tiny_vbr, rate, 2.0)
+    assert not is_rate_feasible(tiny_vbr, rate * 0.99, 2.0)
+
+
+def test_feasibility_definition(tiny_vbr):
+    rate = minimum_workahead_rate(tiny_vbr, 1.0)
+    # Explicit check: cumulative transmission covers cumulative consumption.
+    for t in np.linspace(0.0, tiny_vbr.duration, 200):
+        assert rate * (t + 1.0) >= tiny_vbr.cumulative_bytes(t) - 1e-6
+
+
+def test_zero_rate_infeasible(tiny_vbr):
+    assert not is_rate_feasible(tiny_vbr, 0.0, 1.0)
+
+
+def test_negative_delay_rejected(tiny_vbr):
+    with pytest.raises(SmoothingError):
+        minimum_workahead_rate(tiny_vbr, -1.0)
+
+
+@given(
+    trace=st.lists(st.floats(1.0, 1000.0), min_size=2, max_size=60),
+    delay=st.floats(0.0, 30.0),
+)
+def test_minimum_rate_dominates_consumption_everywhere(trace, delay):
+    video = VBRVideo(trace)
+    rate = minimum_workahead_rate(video, delay)
+    for second in range(1, len(trace) + 1):
+        assert rate * (second + delay) >= video.cumulative_bytes(second) - 1e-6
+
+
+def test_larger_delay_never_needs_more_rate(tiny_vbr):
+    rates = [minimum_workahead_rate(tiny_vbr, d) for d in [0.0, 1.0, 3.0, 10.0]]
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))

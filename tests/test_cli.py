@@ -1,0 +1,57 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in [
+        "figures", "fig7", "fig8", "fig9", "variants", "ablations", "catalog",
+    ]:
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig42"])
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1." in out and "Figure 5." in out
+    assert "S2 S4 S2 S5 S2 S4" in out  # the NPB row of Figure 2
+
+
+def test_variants_command(capsys):
+    assert main(["variants"]) == 0
+    out = capsys.readouterr().out
+    assert "DHB-a" in out and "DHB-d" in out
+    assert "951" in out  # the calibrated peak rate
+
+
+def test_fig7_quick(capsys):
+    assert main(["fig7", "--quick", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "DHB Protocol" in out
+
+
+def test_fig8_quick(capsys):
+    assert main(["fig8", "--quick"]) == 0
+    assert "Figure 8" in capsys.readouterr().out
+
+
+def test_fig9_quick(capsys):
+    assert main(["fig9", "--quick"]) == 0
+    assert "DHB-c" in capsys.readouterr().out
+
+
+def test_catalog_quick(capsys):
+    assert main(["catalog", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "totals:" in out
+    assert "Zipf" in out

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "SchedulingError",
+        "DeadlineMissedError",
+        "SimulationError",
+        "WorkloadError",
+        "VideoModelError",
+        "SmoothingError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_deadline_missed_carries_context():
+    err = errors.DeadlineMissedError(request_slot=4, segment=3, deadline_slot=7)
+    assert err.request_slot == 4
+    assert err.segment == 3
+    assert err.deadline_slot == 7
+    assert "S3" in str(err)
+    assert isinstance(err, errors.SchedulingError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.WorkloadError("boom")

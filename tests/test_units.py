@@ -1,0 +1,33 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+def test_rate_conversions_roundtrip():
+    assert units.per_hour_to_per_second(3600.0) == 1.0
+    assert units.per_second_to_per_hour(1.0) == 3600.0
+    assert units.per_second_to_per_hour(
+        units.per_hour_to_per_second(77.0)
+    ) == pytest.approx(77.0)
+
+
+def test_time_helpers():
+    assert units.hours(2.0) == 7200.0
+    assert units.minutes(1.5) == 90.0
+    assert units.TWO_HOURS == 7200.0
+
+
+def test_byte_helpers():
+    assert units.kb_per_s(1.0) == 1024.0
+    assert units.bytes_to_kb(2048.0) == 2.0
+    assert units.bytes_to_mb(units.MEGABYTE) == 1.0
+
+
+def test_negative_rates_rejected():
+    with pytest.raises(ConfigurationError):
+        units.per_hour_to_per_second(-1.0)
+    with pytest.raises(ConfigurationError):
+        units.per_second_to_per_hour(-1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.video.io — trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoModelError
+from repro.video.io import load_trace, save_trace
+from repro.video.vbr import VBRVideo
+
+
+def test_roundtrip(tmp_path, tiny_vbr):
+    target = tmp_path / "tiny.trace"
+    save_trace(tiny_vbr, target)
+    loaded = load_trace(target)
+    assert loaded.name == "tiny"
+    assert np.allclose(loaded.bytes_per_second, tiny_vbr.bytes_per_second)
+
+
+def test_name_override(tmp_path, tiny_vbr):
+    target = tmp_path / "x.trace"
+    save_trace(tiny_vbr, target)
+    assert load_trace(target, name="override").name == "override"
+
+
+def test_headerless_file(tmp_path):
+    target = tmp_path / "plain.trace"
+    target.write_text("10\n20\n30\n")
+    video = load_trace(target)
+    assert video.total_bytes == 60.0
+    assert video.name == "plain"
+
+
+def test_blank_lines_skipped(tmp_path):
+    target = tmp_path / "gaps.trace"
+    target.write_text("10\n\n20\n\n")
+    assert load_trace(target).duration == 2.0
+
+
+def test_missing_file():
+    with pytest.raises(VideoModelError):
+        load_trace("/nonexistent/path.trace")
+
+
+def test_malformed_line(tmp_path):
+    target = tmp_path / "bad.trace"
+    target.write_text("10\nnot-a-number\n")
+    with pytest.raises(VideoModelError) as excinfo:
+        load_trace(target)
+    assert "line" in str(excinfo.value) or ":2:" in str(excinfo.value)
+
+
+def test_empty_file(tmp_path):
+    target = tmp_path / "empty.trace"
+    target.write_text("# only a header\n")
+    with pytest.raises(VideoModelError):
+        load_trace(target)
+
+
+def test_matrix_trace_roundtrip(tmp_path):
+    from repro.video.matrix import matrix_like_video
+
+    video = matrix_like_video()
+    target = tmp_path / "matrix.trace"
+    save_trace(video, target)
+    loaded = load_trace(target)
+    assert loaded.duration == video.duration
+    assert loaded.average_bandwidth == pytest.approx(video.average_bandwidth)
+    assert loaded.peak_bandwidth() == pytest.approx(video.peak_bandwidth())

@@ -1,0 +1,78 @@
+"""Tests for repro.video.matrix — the calibrated Section 4 trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoModelError
+from repro.units import KILOBYTE
+from repro.video.matrix import (
+    MATRIX_AVG_KBPS,
+    MATRIX_DURATION,
+    MATRIX_PEAK_KBPS,
+    calibrate_trace,
+    matrix_like_video,
+)
+
+# Build once; the trace is deterministic and moderately expensive.
+VIDEO = matrix_like_video()
+
+
+def test_duration_matches_paper():
+    assert VIDEO.duration == float(MATRIX_DURATION)  # 2 h 16 min 10 s
+
+
+def test_average_bandwidth_matches_paper():
+    assert VIDEO.average_bandwidth / KILOBYTE == pytest.approx(MATRIX_AVG_KBPS, rel=1e-9)
+
+
+def test_peak_bandwidth_matches_paper():
+    assert VIDEO.peak_bandwidth(1) / KILOBYTE == pytest.approx(
+        MATRIX_PEAK_KBPS, rel=1e-9
+    )
+
+
+def test_trace_strictly_positive():
+    assert float(np.min(VIDEO.bytes_per_second)) > 0
+
+
+def test_deterministic_given_seed():
+    again = matrix_like_video()
+    assert np.allclose(VIDEO.bytes_per_second, again.bytes_per_second)
+
+
+def test_different_seed_different_trace_same_statistics():
+    other = matrix_like_video(seed=7)
+    assert not np.allclose(VIDEO.bytes_per_second, other.bytes_per_second)
+    assert other.average_bandwidth / KILOBYTE == pytest.approx(MATRIX_AVG_KBPS)
+    assert other.peak_bandwidth() / KILOBYTE == pytest.approx(MATRIX_PEAK_KBPS)
+
+
+class TestCalibrateTrace:
+    def test_pins_mean_and_max(self):
+        trace = np.array([1.0, 2.0, 3.0, 6.0])
+        calibrated = calibrate_trace(trace, target_mean=100.0, target_peak=150.0)
+        assert calibrated.mean() == pytest.approx(100.0)
+        assert calibrated.max() == pytest.approx(150.0)
+
+    def test_preserves_shape(self):
+        trace = np.array([1.0, 2.0, 3.0, 6.0])
+        calibrated = calibrate_trace(trace, 100.0, 150.0)
+        # Affine maps preserve ordering and relative spacing.
+        assert np.all(np.diff(calibrated) > 0)
+        ratio = (calibrated[1] - calibrated[0]) / (calibrated[2] - calibrated[1])
+        original = (trace[1] - trace[0]) / (trace[2] - trace[1])
+        assert ratio == pytest.approx(original)
+
+    def test_rejects_peak_below_mean(self):
+        with pytest.raises(VideoModelError):
+            calibrate_trace(np.array([1.0, 2.0]), 10.0, 10.0)
+
+    def test_rejects_constant_source(self):
+        with pytest.raises(VideoModelError):
+            calibrate_trace(np.array([5.0, 5.0]), 10.0, 20.0)
+
+    def test_rejects_negative_output(self):
+        # Huge spread forced onto a tiny mean drives the floor negative.
+        trace = np.array([1.0, 1.0, 1.0, 100.0])
+        with pytest.raises(VideoModelError):
+            calibrate_trace(trace, target_mean=10.0, target_peak=1000.0)

@@ -1,0 +1,40 @@
+"""Tests for repro.video.model."""
+
+import pytest
+
+from repro.errors import VideoModelError
+from repro.video.model import CBRVideo
+
+
+def test_cbr_defaults_to_two_hours_unit_rate():
+    video = CBRVideo()
+    assert video.duration == 7200.0
+    assert video.average_bandwidth == 1.0
+
+
+def test_cumulative_is_linear():
+    video = CBRVideo(duration=100.0, rate=2.0)
+    assert video.cumulative_bytes(0.0) == 0.0
+    assert video.cumulative_bytes(25.0) == 50.0
+    assert video.cumulative_bytes(100.0) == 200.0
+
+
+def test_cumulative_clamps():
+    video = CBRVideo(duration=100.0)
+    assert video.cumulative_bytes(-5.0) == 0.0
+    assert video.cumulative_bytes(500.0) == 100.0
+
+
+def test_total_bytes():
+    assert CBRVideo(duration=60.0, rate=3.0).total_bytes == 180.0
+
+
+def test_validation():
+    with pytest.raises(VideoModelError):
+        CBRVideo(duration=0.0)
+    with pytest.raises(VideoModelError):
+        CBRVideo(duration=10.0, rate=0.0)
+
+
+def test_repr_mentions_parameters():
+    assert "7200" in repr(CBRVideo())

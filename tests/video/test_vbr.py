@@ -1,0 +1,91 @@
+"""Tests for repro.video.vbr."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import VideoModelError
+from repro.video.vbr import VBRVideo
+
+
+def test_basic_statistics(tiny_vbr):
+    assert tiny_vbr.duration == 12.0
+    assert tiny_vbr.total_bytes == pytest.approx(sum(tiny_vbr.bytes_per_second))
+    assert tiny_vbr.peak_bandwidth() == 260.0
+    assert tiny_vbr.average_bandwidth == pytest.approx(tiny_vbr.total_bytes / 12.0)
+
+
+def test_peak_over_window():
+    video = VBRVideo([10.0, 100.0, 100.0, 10.0])
+    assert video.peak_bandwidth(window_seconds=1) == 100.0
+    assert video.peak_bandwidth(window_seconds=2) == 100.0
+    assert video.peak_bandwidth(window_seconds=4) == 55.0
+
+
+def test_peak_window_validation(tiny_vbr):
+    with pytest.raises(VideoModelError):
+        tiny_vbr.peak_bandwidth(window_seconds=0)
+    with pytest.raises(VideoModelError):
+        tiny_vbr.peak_bandwidth(window_seconds=13)
+
+
+def test_cumulative_interpolates_within_seconds():
+    video = VBRVideo([100.0, 200.0])
+    assert video.cumulative_bytes(0.5) == pytest.approx(50.0)
+    assert video.cumulative_bytes(1.5) == pytest.approx(200.0)
+    assert video.cumulative_bytes(2.0) == pytest.approx(300.0)
+
+
+def test_cumulative_clamps():
+    video = VBRVideo([100.0])
+    assert video.cumulative_bytes(-1.0) == 0.0
+    assert video.cumulative_bytes(99.0) == 100.0
+
+
+def test_playout_time_inverse_of_cumulative(tiny_vbr):
+    for offset in [0.0, 10.0, 100.0, 500.0, tiny_vbr.total_bytes]:
+        t = tiny_vbr.playout_time_for_bytes(offset)
+        assert tiny_vbr.cumulative_bytes(t) == pytest.approx(offset, abs=1e-6)
+
+
+def test_playout_time_with_idle_seconds():
+    video = VBRVideo([100.0, 0.0, 0.0, 100.0])
+    # Byte 100 is first consumed when second 3 starts playing.
+    assert video.playout_time_for_bytes(100.0) == pytest.approx(1.0)
+    assert video.playout_time_for_bytes(150.0) == pytest.approx(3.5)
+
+
+def test_scaled():
+    video = VBRVideo([10.0, 20.0])
+    doubled = video.scaled(2.0)
+    assert doubled.total_bytes == 60.0
+    with pytest.raises(VideoModelError):
+        video.scaled(0.0)
+
+
+def test_trace_is_read_only(tiny_vbr):
+    with pytest.raises(ValueError):
+        tiny_vbr.bytes_per_second[0] = 999.0
+
+
+def test_validation():
+    with pytest.raises(VideoModelError):
+        VBRVideo([])
+    with pytest.raises(VideoModelError):
+        VBRVideo([1.0, -2.0])
+    with pytest.raises(VideoModelError):
+        VBRVideo([0.0, 0.0])
+
+
+@given(
+    st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100).filter(
+        lambda xs: sum(xs) > 0
+    )
+)
+def test_cumulative_monotone(trace):
+    video = VBRVideo(trace)
+    samples = np.linspace(0, video.duration, 50)
+    values = [video.cumulative_bytes(t) for t in samples]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(video.total_bytes, rel=1e-9)

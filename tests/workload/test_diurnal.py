@@ -1,0 +1,79 @@
+"""Tests for repro.workload.diurnal."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import HOUR
+from repro.workload.diurnal import (
+    DiurnalProfile,
+    adult_evening_profile,
+    child_daytime_profile,
+)
+
+
+def test_flat_profile_constant_rate():
+    profile = DiurnalProfile([10.0] * 24)
+    for t in [0.0, HOUR / 2, 13 * HOUR, 23.9 * HOUR, 60 * HOUR]:
+        assert profile.rate_at(t) == pytest.approx(10.0)
+
+
+def test_profile_is_periodic():
+    profile = child_daytime_profile(100.0)
+    assert profile.rate_at(5 * HOUR) == pytest.approx(
+        profile.rate_at(5 * HOUR + 24 * HOUR)
+    )
+
+
+def test_rate_at_hour_midpoint_equals_control_value():
+    rates = [float(h) for h in range(24)]
+    profile = DiurnalProfile(rates)
+    assert profile.rate_at(6.5 * HOUR) == pytest.approx(6.0)
+
+
+def test_interpolation_between_hours():
+    rates = [0.0] * 24
+    rates[6] = 10.0
+    rates[7] = 20.0
+    profile = DiurnalProfile(rates)
+    assert profile.rate_at(7.0 * HOUR) == pytest.approx(15.0)
+
+
+def test_child_profile_peaks_in_daytime():
+    profile = child_daytime_profile(100.0)
+    assert profile.rate_at(12.5 * HOUR) > 10 * profile.rate_at(3.5 * HOUR)
+    assert profile.max_rate_per_hour == pytest.approx(100.0)
+
+
+def test_adult_profile_peaks_in_evening():
+    profile = adult_evening_profile(100.0)
+    assert profile.rate_at(21.5 * HOUR) > 5 * profile.rate_at(9.5 * HOUR)
+
+
+def test_profiles_are_complementary():
+    child = child_daytime_profile(100.0)
+    adult = adult_evening_profile(100.0)
+    # At lunchtime children dominate, at night adults do — the paper's
+    # motivating opposition.
+    assert child.rate_at(13 * HOUR) > adult.rate_at(13 * HOUR)
+    assert adult.rate_at(22 * HOUR) > child.rate_at(22 * HOUR)
+
+
+def test_mean_rate():
+    profile = DiurnalProfile([0.0] * 12 + [24.0] * 12)
+    assert profile.mean_rate_per_hour == pytest.approx(12.0)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        DiurnalProfile([1.0] * 23)
+    with pytest.raises(WorkloadError):
+        DiurnalProfile([-1.0] + [1.0] * 23)
+    with pytest.raises(WorkloadError):
+        child_daytime_profile(0.0)
+    with pytest.raises(WorkloadError):
+        adult_evening_profile(-5.0)
+
+
+def test_negative_time_wraps():
+    profile = child_daytime_profile(100.0)
+    assert profile.rate_at(-HOUR) == pytest.approx(profile.rate_at(23 * HOUR))

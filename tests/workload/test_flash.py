@@ -1,0 +1,63 @@
+"""Tests for repro.workload.flash — the premiere surge model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import HOUR
+from repro.workload.flash import FlashCrowd
+
+
+def test_rate_decays_exponentially():
+    crowd = FlashCrowd(peak_rate_per_hour=100.0, decay_hours=1.0)
+    assert crowd.rate_at(0.0) == pytest.approx(100.0)
+    assert crowd.rate_at(HOUR) == pytest.approx(100.0 * np.exp(-1.0))
+    assert crowd.rate_at(10 * HOUR) < 0.01 * crowd.rate_at(0.0)
+
+
+def test_base_rate_floor():
+    crowd = FlashCrowd(100.0, 1.0, base_rate_per_hour=7.0)
+    assert crowd.rate_at(100 * HOUR) == pytest.approx(7.0, rel=1e-6)
+    assert crowd.rate_at(-5.0) == 7.0
+
+
+def test_expected_requests_closed_form():
+    crowd = FlashCrowd(peak_rate_per_hour=120.0, decay_hours=2.0,
+                       base_rate_per_hour=10.0)
+    horizon = 6 * HOUR
+    expected = (
+        120.0 / HOUR * 2 * HOUR * (1 - np.exp(-3.0)) + 10.0 / HOUR * horizon
+    )
+    assert crowd.expected_requests(horizon) == pytest.approx(expected)
+
+
+def test_generation_matches_expectation(rng):
+    crowd = FlashCrowd(peak_rate_per_hour=400.0, decay_hours=1.5,
+                       base_rate_per_hour=20.0)
+    horizon = 12 * HOUR
+    times = crowd.generate(horizon, rng)
+    assert len(times) == pytest.approx(crowd.expected_requests(horizon), rel=0.1)
+    # The first hour is far busier than the last.
+    first = np.sum(times < HOUR)
+    last = np.sum(times > horizon - HOUR)
+    assert first > 5 * last
+
+
+def test_generation_sorted_and_bounded(rng):
+    crowd = FlashCrowd(50.0, 1.0)
+    times = crowd.generate(4 * HOUR, rng)
+    assert np.all(np.diff(times) >= 0)
+    if len(times):
+        assert 0 <= times[0] and times[-1] < 4 * HOUR
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        FlashCrowd(-1.0, 1.0)
+    with pytest.raises(WorkloadError):
+        FlashCrowd(10.0, 0.0)
+    with pytest.raises(WorkloadError):
+        FlashCrowd(0.0, 1.0, base_rate_per_hour=0.0)
+    crowd = FlashCrowd(10.0, 1.0)
+    with pytest.raises(WorkloadError):
+        crowd.expected_requests(-1.0)

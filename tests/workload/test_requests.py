@@ -1,0 +1,42 @@
+"""Tests for repro.workload.requests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.requests import Request, interleave, requests_from_times
+
+
+def test_request_ids_are_unique_and_increasing():
+    a = Request(time=1.0)
+    b = Request(time=2.0)
+    assert b.request_id > a.request_id
+
+
+def test_request_validation():
+    with pytest.raises(WorkloadError):
+        Request(time=-1.0)
+    with pytest.raises(WorkloadError):
+        Request(time=0.0, video_id=-2)
+
+
+def test_requests_from_times():
+    requests = requests_from_times([1.0, 2.0, 3.0], video_id=4)
+    assert [r.time for r in requests] == [1.0, 2.0, 3.0]
+    assert all(r.video_id == 4 for r in requests)
+
+
+def test_requests_from_times_rejects_unsorted():
+    with pytest.raises(WorkloadError):
+        requests_from_times([2.0, 1.0])
+
+
+def test_interleave_orders_by_time():
+    requests = [Request(time=3.0), Request(time=1.0), Request(time=2.0)]
+    assert [r.time for r in interleave(requests)] == [1.0, 2.0, 3.0]
+
+
+def test_interleave_stable_for_simultaneous_requests():
+    early = Request(time=1.0)
+    late = Request(time=1.0)
+    ordered = list(interleave([late, early]))
+    assert ordered[0].request_id < ordered[1].request_id
