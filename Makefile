@@ -1,6 +1,6 @@
 # Convenience targets for the DHB reproduction.
 
-.PHONY: install test bench figures clean
+.PHONY: install test bench bench-json figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-json:
+	PYTHONPATH=src python benchmarks/perf_report.py
 
 figures:
 	python -m repro.cli figures

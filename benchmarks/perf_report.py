@@ -1,0 +1,144 @@
+"""Perf-regression harness: machine-readable timings for the hot paths.
+
+Runs the constructive micro-benches (DHB/UD admission under saturation and
+under sparse load) and the quick Figure-7 sweep — serial and parallel — and
+writes ``BENCH_sweep.json`` at the repository root.  Each entry records the
+best-of-``repeats`` wall time plus a scale detail, so successive PRs have a
+perf trajectory to regress against::
+
+    make bench-json            # or: python benchmarks/perf_report.py
+    python benchmarks/perf_report.py --output /tmp/bench.json --repeats 5
+
+The parallel sweep entry doubles as a determinism check: the harness fails
+loudly if the ``n_jobs=2`` series differ from the serial ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:  # installed package, or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # direct invocation from a source checkout
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.dhb import DHBProtocol
+from repro.experiments.config import SweepConfig
+from repro.experiments.fig7 import FIG7_PROTOCOLS
+from repro.experiments.runner import clear_trace_cache, sweep_protocols
+from repro.protocols.ud import UniversalDistributionProtocol
+
+#: Quick Figure-7 grid: full protocol set, three rates, short horizons.
+QUICK_CONFIG = SweepConfig().quick()
+
+
+def bench_dhb_saturated() -> Dict[str, float]:
+    """2000 saturated admissions into a 99-segment DHB schedule."""
+    protocol = DHBProtocol(n_segments=99)
+    for slot in range(2000):
+        protocol.handle_request(slot)
+    return {"requests": 2000, "instances": protocol.schedule.total_instances}
+
+def bench_dhb_cold() -> Dict[str, float]:
+    """Sparse admissions (little sharing): the constructive worst case."""
+    protocol = DHBProtocol(n_segments=99)
+    for slot in range(0, 2000, 40):
+        protocol.handle_request(slot)
+    return {"requests": 50, "instances": protocol.schedule.total_instances}
+
+
+def bench_ud_saturated() -> Dict[str, float]:
+    """2000 saturated admissions into the 99-segment UD (on-demand FB) map."""
+    protocol = UniversalDistributionProtocol(n_segments=99)
+    for slot in range(2000):
+        protocol.handle_request(slot)
+    return {"requests": 2000}
+
+
+def bench_fig7_quick_serial() -> Dict[str, float]:
+    """The quick Figure-7 sweep (4 protocols x 3 rates), serial, cold cache."""
+    clear_trace_cache()
+    names = [name for name, _ in FIG7_PROTOCOLS]
+    series = sweep_protocols(names, QUICK_CONFIG, n_jobs=1)
+    return {"points": sum(len(s.points) for s in series)}
+
+
+def bench_fig7_quick_parallel() -> Dict[str, float]:
+    """Same sweep with n_jobs=2; asserts bit-for-bit equality with serial."""
+    names = [name for name, _ in FIG7_PROTOCOLS]
+    serial = sweep_protocols(names, QUICK_CONFIG, n_jobs=1)
+    parallel = sweep_protocols(names, QUICK_CONFIG, n_jobs=2)
+    for a, b in zip(serial, parallel):
+        if a.points != b.points:
+            raise AssertionError(
+                f"parallel sweep diverged from serial for {a.protocol!r}"
+            )
+    return {"points": sum(len(s.points) for s in parallel), "verified": 1}
+
+
+BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
+    "micro_dhb_saturated": bench_dhb_saturated,
+    "micro_dhb_cold": bench_dhb_cold,
+    "micro_ud_saturated": bench_ud_saturated,
+    "fig7_quick_serial": bench_fig7_quick_serial,
+    "fig7_quick_parallel": bench_fig7_quick_parallel,
+}
+
+
+def time_bench(bench: Callable[[], Dict[str, float]], repeats: int) -> Tuple[float, Dict[str, float]]:
+    """Best-of-``repeats`` wall time (and the final run's detail payload)."""
+    best = float("inf")
+    detail: Dict[str, float] = {}
+    for _ in range(repeats):
+        start = time.perf_counter()
+        detail = bench()
+        best = min(best, time.perf_counter() - start)
+    return best, detail
+
+
+def run_report(repeats: int) -> Dict[str, object]:
+    benches: Dict[str, object] = {}
+    for name, bench in BENCHES.items():
+        seconds, detail = time_bench(bench, repeats)
+        benches[name] = {"seconds": round(seconds, 6), "detail": detail}
+        print(f"{name:28s} {seconds * 1000:10.2f} ms  {detail}")
+    return {
+        "schema": 1,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "benches": benches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=_REPO_ROOT / "BENCH_sweep.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repetitions per bench"
+    )
+    args = parser.parse_args(argv)
+    report = run_report(max(1, args.repeats))
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -104,6 +104,7 @@ class DHBProtocol(SlottedModel):
         self.track_clients = track_clients
         self.clients: List[ClientPlan] = []
         self.requests_admitted = 0
+        self._period_list = periods.as_list()
 
     @property
     def n_segments(self) -> int:
@@ -114,12 +115,22 @@ class DHBProtocol(SlottedModel):
         """Admit a request that arrived during ``slot`` (Figure 6).
 
         Returns the client's reception plan when ``track_clients`` is on.
+
+        When the chooser is the paper's default rule the admission runs on
+        the schedule's fused fast path (:meth:`SlotSchedule.choose_latest_min`
+        over the array load store); custom :class:`SlotChooser` callables go
+        through the equivalent generic loop, so ablation arms see identical
+        semantics.
         """
+        fused = self.chooser is latest_min_load_chooser
+        if fused and self.enable_sharing and not self.track_clients:
+            return self._handle_request_fast(slot)
         plan = ClientPlan(arrival_slot=slot) if self.track_clients else None
+        schedule = self.schedule
         for segment in range(1, self.n_segments + 1):
-            window_end = slot + self.periods[segment]
+            window_end = slot + self._period_list[segment - 1]
             existing = (
-                self.schedule.next_transmission(segment)
+                schedule.next_transmission(segment)
                 if self.enable_sharing
                 else None
             )
@@ -129,14 +140,37 @@ class DHBProtocol(SlottedModel):
                 if plan is not None:
                     plan.assign(segment, existing, shared=True)
                 continue
-            chosen = self.chooser(self.schedule.load, slot + 1, window_end)
-            self.schedule.add(chosen, segment)
+            if fused:
+                chosen = schedule.choose_latest_min(slot + 1, window_end)
+            else:
+                chosen = self.chooser(schedule.load, slot + 1, window_end)
+            schedule.add(chosen, segment)
             if plan is not None:
                 plan.assign(segment, chosen, shared=False)
         self.requests_admitted += 1
         if plan is not None:
             self.clients.append(plan)
         return plan
+
+    def _handle_request_fast(self, slot: int) -> None:
+        """Vectorised admission for the default heuristic.
+
+        One vector compare finds the segments with no shareable future
+        instance (at saturation only ~H(n) of n qualify); each of those is
+        then placed by the fused window-min chooser.  Processing stays in
+        ascending segment order and reads loads live, so the resulting
+        schedule is bit-for-bit the generic loop's.
+        """
+        schedule = self.schedule
+        needed = (schedule.next_transmissions <= slot).nonzero()[0]
+        if needed.size:
+            periods = self._period_list
+            place = schedule.place_latest_min
+            first = slot + 1
+            for index in needed.tolist():
+                place(first, slot + periods[index], index + 1)
+        self.requests_admitted += 1
+        return None
 
     def slot_load(self, slot: int) -> int:
         """Segment instances transmitted during ``slot`` (streams of rate b)."""

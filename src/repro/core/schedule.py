@@ -16,17 +16,37 @@ before scheduling ``S_j``, **at most one instance of each segment is ever
 scheduled in the strict future**.  (Any previous request arrived at some
 ``i' <= i`` and placed its instance at ``k <= i' + T[j] <= i + T[j]``; if
 ``k > i`` that instance lies inside the new request's window and is shared
-instead of duplicated.)  The schedule still keeps the full per-slot instance
-lists, both for bandwidth accounting and so that tests can audit the raw
-schedule; :meth:`release_before` garbage-collects slots the simulation has
-moved past, keeping memory flat over arbitrarily long runs.
+instead of duplicated.)
+
+Load storage is an array keyed by slot offset, not a per-slot dict: the
+active slot span of a window-sharing protocol is bounded by the largest
+period, so a flat ``array('q')`` indexed by ``slot - base`` gives O(1)
+scalar reads/writes at CPython-attribute speed *and* a zero-copy numpy view
+(:meth:`window_loads`) over any slot window for vectorised queries.
+:meth:`choose_latest_min` fuses the DHB heuristic (least-loaded slot, ties
+broken to the latest) with that store.  :meth:`release_before` advances the
+logical floor in O(1) amortised time and periodically compacts the backing
+array, keeping memory flat over arbitrarily long runs.  The schedule still
+keeps full per-slot instance lists, both for bandwidth auditing and so that
+tests can inspect the raw schedule.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import SchedulingError
+
+#: Initial capacity of the load array (grows by doubling as needed).
+_INITIAL_CAPACITY = 256
+
+#: Windows at or below this size are scanned in pure Python: per-element
+#: access on an ``array('q')`` costs ~0.2 µs, so small windows beat the
+#: fixed ~2 µs overhead of a numpy argmin call.
+_SMALL_WINDOW = 16
 
 
 class SlotSchedule:
@@ -70,10 +90,24 @@ class SlotSchedule:
             if any(w < 0 for w in segment_weights):
                 raise SchedulingError("segment weights must be >= 0")
             self._weights = [float(w) for w in segment_weights]
+        self._unit_weights = all(w == 1.0 for w in self._weights)
+        # Load store: `_loads[slot - _base]`, valid for slots in
+        # [_released_before, _base + capacity).  Cells below _released_before
+        # may hold stale counts; `load()` masks them, and compaction drops
+        # them entirely.  `_loads_np` is a cached zero-copy numpy view of the
+        # same buffer, refreshed whenever the backing array is replaced.
+        self._base = 0
+        self._loads = array("q", bytes(8 * _INITIAL_CAPACITY))
+        self._loads_np = np.frombuffer(self._loads, dtype=np.int64)
+        self._weight_loads = (
+            None if self._unit_weights else array("d", bytes(8 * _INITIAL_CAPACITY))
+        )
+        # Audit store: full per-slot instance lists, in add order.
         self._slots: Dict[int, List[int]] = {}
-        self._slot_weights: Dict[int, float] = {}
-        # next_tx[j-1]: slot of S_j's scheduled future instance, or None.
-        self._next_tx: List = [None] * self.n_segments
+        # next_tx[j-1]: slot of S_j's scheduled future instance, or -1.
+        # Fixed-size array('q'), so the numpy view stays valid for life.
+        self._next_tx = array("q", [-1] * self.n_segments)
+        self._next_tx_np = np.frombuffer(self._next_tx, dtype=np.int64)
         self._released_before = 0
         self._total_instances = 0
 
@@ -82,35 +116,100 @@ class SlotSchedule:
         """Total segment instances ever added (never decremented by GC)."""
         return self._total_instances
 
+    @property
+    def next_transmissions(self) -> np.ndarray:
+        """Read-only numpy view of per-segment future-instance slots.
+
+        Entry ``j - 1`` is the slot of ``S_j``'s latest scheduled instance,
+        or ``-1`` when none was ever scheduled.  This is the vectorised
+        counterpart of :meth:`next_transmission`; callers must treat it as
+        read-only (it aliases the live index).
+        """
+        return self._next_tx_np
+
     def _check_segment(self, segment: int) -> None:
         if not 1 <= segment <= self.n_segments:
             raise SchedulingError(
                 f"segment S{segment} outside S1..S{self.n_segments}"
             )
 
+    def _ensure_capacity(self, slot: int) -> None:
+        """Grow (never in place) so that ``slot`` has a backing cell."""
+        needed = slot - self._base + 1
+        capacity = len(self._loads)
+        # Compact first: slide the window forward past released slots.
+        shift = self._released_before - self._base
+        if shift > 0 and needed - shift <= capacity:
+            fresh = self._loads[shift:]
+            fresh.extend(bytes(8 * shift))
+            self._replace_loads(fresh)
+            if self._weight_loads is not None:
+                fresh_w = self._weight_loads[shift:]
+                fresh_w.extend(bytes(8 * shift))
+                self._weight_loads = fresh_w
+            self._base = self._released_before
+            return
+        new_capacity = capacity
+        while new_capacity < needed - shift:
+            new_capacity *= 2
+        fresh = self._loads[shift:]
+        fresh.extend(bytes(8 * (new_capacity - len(fresh))))
+        self._replace_loads(fresh)
+        if self._weight_loads is not None:
+            fresh_w = self._weight_loads[shift:]
+            fresh_w.extend(bytes(8 * (new_capacity - len(fresh_w))))
+            self._weight_loads = fresh_w
+        self._base += shift
+
+    def _replace_loads(self, fresh: array) -> None:
+        self._loads = fresh
+        self._loads_np = np.frombuffer(fresh, dtype=np.int64)
+
     def add(self, slot: int, segment: int) -> None:
         """Schedule one instance of ``segment`` in ``slot``."""
-        self._check_segment(segment)
+        if not 1 <= segment <= self.n_segments:
+            self._check_segment(segment)
         if slot < self._released_before:
             raise SchedulingError(
                 f"slot {slot} already released (< {self._released_before})"
             )
-        self._slots.setdefault(slot, []).append(segment)
-        self._slot_weights[slot] = (
-            self._slot_weights.get(slot, 0.0) + self._weights[segment - 1]
-        )
+        loads = self._loads
+        index = slot - self._base
+        if index >= len(loads):
+            self._ensure_capacity(slot)
+            loads = self._loads
+            index = slot - self._base
+        loads[index] += 1
+        if self._weight_loads is not None:
+            self._weight_loads[index] += self._weights[segment - 1]
+        bucket = self._slots.get(slot)
+        if bucket is None:
+            self._slots[slot] = [segment]
+        else:
+            bucket.append(segment)
         self._total_instances += 1
-        current = self._next_tx[segment - 1]
-        if current is None or slot > current:
+        if slot > self._next_tx[segment - 1]:
             self._next_tx[segment - 1] = slot
 
     def load(self, slot: int) -> int:
         """Number of instances scheduled in ``slot`` (streams of rate ``b``)."""
-        return len(self._slots.get(slot, ()))
+        if slot < self._released_before:
+            return 0
+        index = slot - self._base
+        if index >= len(self._loads):
+            return 0
+        return self._loads[index]
 
     def weight(self, slot: int) -> float:
         """Weighted load of ``slot`` (bytes, when weights are byte sizes)."""
-        return self._slot_weights.get(slot, 0.0)
+        if self._weight_loads is None:
+            return float(self.load(slot))
+        if slot < self._released_before:
+            return 0.0
+        index = slot - self._base
+        if index >= len(self._weight_loads):
+            return 0.0
+        return self._weight_loads[index]
 
     def segments_in(self, slot: int) -> List[int]:
         """The segment instances scheduled in ``slot`` (copy, in add order)."""
@@ -123,7 +222,8 @@ class SlotSchedule:
         ``> current`` is in the future and can be shared.
         """
         self._check_segment(segment)
-        return self._next_tx[segment - 1]
+        slot = self._next_tx[segment - 1]
+        return None if slot < 0 else slot
 
     def has_instance_within(self, segment: int, first_slot: int, last_slot: int) -> bool:
         """Whether ``segment`` has an instance in ``[first_slot, last_slot]``.
@@ -133,14 +233,134 @@ class SlotSchedule:
         next_tx = self.next_transmission(segment)
         return next_tx is not None and first_slot <= next_tx <= last_slot
 
+    def window_loads(self, first_slot: int, last_slot: int) -> np.ndarray:
+        """Zero-copy numpy view of the loads of ``[first_slot, last_slot]``.
+
+        The view aliases the live store: it is only valid until the next
+        :meth:`add` / :meth:`release_before` and must not be written to.
+        ``first_slot`` must not be below the released floor.
+        """
+        if last_slot < first_slot:
+            raise SchedulingError(f"empty slot window [{first_slot}, {last_slot}]")
+        if first_slot < self._released_before:
+            raise SchedulingError(
+                f"window start {first_slot} below released floor "
+                f"{self._released_before}"
+            )
+        if last_slot - self._base >= len(self._loads):
+            self._ensure_capacity(last_slot)
+        base = self._base
+        return self._loads_np[first_slot - base : last_slot - base + 1]
+
+    def choose_latest_min(self, first_slot: int, last_slot: int) -> int:
+        """Least-loaded slot of ``[first_slot, last_slot]``, latest tie wins.
+
+        Fused fast path of the paper's heuristic
+        (:func:`repro.core.heuristic.latest_min_load_chooser`): bit-for-bit
+        the same choice, but read straight off the load array — a reverse
+        Python scan for small windows, a vectorised argmin otherwise.
+        """
+        if last_slot < first_slot:
+            raise SchedulingError(f"empty slot window [{first_slot}, {last_slot}]")
+        if first_slot < self._released_before:
+            raise SchedulingError(
+                f"window start {first_slot} below released floor "
+                f"{self._released_before}"
+            )
+        if last_slot - self._base >= len(self._loads):
+            self._ensure_capacity(last_slot)
+        base = self._base
+        if last_slot - first_slot < _SMALL_WINDOW:
+            loads = self._loads
+            best_slot = last_slot
+            best_load = loads[last_slot - base]
+            for slot in range(last_slot - 1, first_slot - 1, -1):
+                load = loads[slot - base]
+                if load < best_load:
+                    best_slot, best_load = slot, load
+            return best_slot
+        window = self._loads_np[first_slot - base : last_slot - base + 1]
+        # argmin of the reversed view finds the first minimum from the end,
+        # which *is* the latest among equals.
+        return last_slot - int(window[::-1].argmin())
+
+    def place_latest_min(self, first_slot: int, last_slot: int, segment: int) -> int:
+        """Fused :meth:`choose_latest_min` + :meth:`add`; returns the slot.
+
+        The admission hot path of the dynamic protocols: one call picks the
+        least-loaded/latest slot of the window and schedules ``segment``
+        there, skipping the bounds work :meth:`add` would repeat (the chosen
+        slot is inside the just-validated window by construction).
+        """
+        if not 1 <= segment <= self.n_segments:
+            self._check_segment(segment)
+        if last_slot < first_slot:
+            raise SchedulingError(f"empty slot window [{first_slot}, {last_slot}]")
+        if first_slot < self._released_before:
+            raise SchedulingError(
+                f"window start {first_slot} below released floor "
+                f"{self._released_before}"
+            )
+        loads = self._loads
+        if last_slot - self._base >= len(loads):
+            self._ensure_capacity(last_slot)
+            loads = self._loads
+        base = self._base
+        low = first_slot - base
+        high = last_slot - base
+        if high - low < _SMALL_WINDOW:
+            chosen_index = high
+            best_load = loads[high]
+            for index in range(high - 1, low - 1, -1):
+                load = loads[index]
+                if load < best_load:
+                    chosen_index, best_load = index, load
+        else:
+            chosen_index = high - int(self._loads_np[low : high + 1][::-1].argmin())
+        chosen = base + chosen_index
+        loads[chosen_index] += 1
+        if self._weight_loads is not None:
+            self._weight_loads[chosen_index] += self._weights[segment - 1]
+        bucket = self._slots.get(chosen)
+        if bucket is None:
+            self._slots[chosen] = [segment]
+        else:
+            bucket.append(segment)
+        self._total_instances += 1
+        if chosen > self._next_tx[segment - 1]:
+            self._next_tx[segment - 1] = chosen
+        return chosen
+
     def release_before(self, slot: int) -> None:
-        """Drop per-slot bookkeeping for slots ``< slot`` (bounded memory)."""
+        """Drop per-slot bookkeeping for slots ``< slot`` (bounded memory).
+
+        O(released audit entries) amortised, independent of the slot gap:
+        sparse traces may jump the floor forward by millions of slots and
+        pay only for the (small) set of actually occupied slots.
+        """
         if slot <= self._released_before:
             return
-        for old in range(self._released_before, slot):
-            self._slots.pop(old, None)
-            self._slot_weights.pop(old, None)
+        occupied = self._slots
+        if occupied:
+            gap = slot - self._released_before
+            if gap <= len(occupied):
+                for old in range(self._released_before, slot):
+                    occupied.pop(old, None)
+            else:
+                for old in [s for s in occupied if s < slot]:
+                    del occupied[old]
         self._released_before = slot
+        # Keep the backing array aligned with the active span: once the
+        # released prefix dominates the capacity, slide the window forward
+        # (amortised O(1) per released slot).
+        if slot - self._base >= len(self._loads):
+            # Everything stored is released; restart the array at the floor.
+            self._base = slot
+            self._replace_loads(array("q", bytes(8 * len(self._loads))))
+            if self._weight_loads is not None:
+                self._weight_loads = array("d", bytes(8 * len(self._weight_loads)))
+        elif slot - self._base > max(_INITIAL_CAPACITY, len(self._loads) // 2):
+            self._ensure_capacity(slot)
 
     def occupied_slots(self) -> List[int]:
         """Sorted list of not-yet-released slots carrying any instance."""

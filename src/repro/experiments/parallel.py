@@ -1,0 +1,162 @@
+"""Parallel execution of protocol sweeps.
+
+A figure-style sweep is an embarrassingly parallel grid: every
+``(protocol, rate)`` point builds a fresh protocol, replays the seeded
+common-random-numbers trace for its rate, and reduces to one
+:class:`~repro.analysis.metrics.BandwidthPoint`.  No point reads another's
+state, so the grid fans out across a :class:`concurrent.futures.ProcessPoolExecutor`
+with **bit-for-bit** the serial results: each worker re-derives the same
+seeded trace from ``(config.seed, rate)`` and runs the identical measurement
+code, and the parent reassembles points in task order.
+
+Worker count resolution, in priority order:
+
+1. the explicit ``n_jobs`` argument (``-1`` means "all cores"),
+2. the ``REPRO_SWEEP_JOBS`` environment variable,
+3. serial execution (``n_jobs = 1``).
+
+Serial execution never touches the pool machinery, and any failure to spawn
+a pool (restricted environments, missing semaphores) degrades to the serial
+path rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, NamedTuple, Optional, Sequence
+
+from ..analysis.metrics import BandwidthPoint, ProtocolSeries
+from ..errors import ConfigurationError
+from ..protocols.registry import ProtocolContext, build_protocol
+from .config import SweepConfig
+
+#: Environment variable consulted when ``n_jobs`` is not given explicitly.
+N_JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+
+class SweepPoint(NamedTuple):
+    """One cell of the sweep grid: a registry protocol at one arrival rate."""
+
+    name: str
+    label: str
+    rate_per_hour: float
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
+    """Resolve the worker count from the argument or :data:`N_JOBS_ENV`.
+
+    ``None`` falls through to the environment variable, then to ``1``
+    (serial).  Negative values mean "all available cores".
+    """
+    if n_jobs is None:
+        raw = os.environ.get(N_JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{N_JOBS_ENV}={raw!r} is not an integer"
+            ) from None
+    if n_jobs == 0:
+        raise ConfigurationError("n_jobs must be >= 1 or negative (all cores)")
+    if n_jobs < 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def _measure_point(point: SweepPoint, config: SweepConfig) -> BandwidthPoint:
+    """Measure one grid cell (top-level so worker processes can unpickle it)."""
+    from .runner import arrivals_for_rate, measure_protocol
+
+    context = ProtocolContext(
+        n_segments=config.n_segments,
+        duration=config.duration,
+        rate_per_hour=point.rate_per_hour,
+    )
+    protocol = build_protocol(point.name, context)
+    return measure_protocol(
+        protocol,
+        config,
+        point.rate_per_hour,
+        arrival_times=arrivals_for_rate(config, point.rate_per_hour),
+    )
+
+
+class ParallelSweepExecutor:
+    """Fans sweep grid points across a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; see :func:`resolve_n_jobs` for ``None`` / negative
+        semantics.  ``1`` runs everything in-process (no pool, no pickling).
+
+    Examples
+    --------
+    >>> executor = ParallelSweepExecutor(n_jobs=1)
+    >>> cfg = SweepConfig().quick(rates_per_hour=(30.0,), base_hours=2.0,
+    ...                           min_requests=10)
+    >>> [series.protocol for series in executor.sweep(["npb"], cfg)]
+    ['npb']
+    """
+
+    def __init__(self, n_jobs: Optional[int] = None):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+
+    def measure_points(
+        self, points: Sequence[SweepPoint], config: SweepConfig
+    ) -> List[BandwidthPoint]:
+        """Measure every grid point, preserving input order.
+
+        The parallel path produces exactly the serial path's numbers: the
+        per-point computation is deterministic in ``(point, config)`` and
+        carries no cross-point state.
+        """
+        if self.n_jobs == 1 or len(points) <= 1:
+            return [_measure_point(point, config) for point in points]
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.n_jobs, len(points))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_measure_point, point, config) for point in points
+                ]
+                return [future.result() for future in futures]
+        except (OSError, PermissionError):
+            # Pools need fork/spawn and semaphores; fall back to serial in
+            # environments that forbid them rather than failing the sweep.
+            return [_measure_point(point, config) for point in points]
+
+    def sweep(
+        self,
+        names: Sequence[str],
+        config: SweepConfig,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[ProtocolSeries]:
+        """Sweep registry protocols over every configured rate.
+
+        The (protocol × rate) grid is flattened into independent points,
+        measured (possibly out of order, across processes), and reassembled
+        into one :class:`~repro.analysis.metrics.ProtocolSeries` per
+        protocol in the caller's order.
+        """
+        if labels is None:
+            labels = list(names)
+        if len(labels) != len(names):
+            raise ConfigurationError("labels must parallel names")
+        points = [
+            SweepPoint(name, label, rate)
+            for name, label in zip(names, labels)
+            for rate in config.rates_per_hour
+        ]
+        measured = self.measure_points(points, config)
+        n_rates = len(config.rates_per_hour)
+        all_series: List[ProtocolSeries] = []
+        for position, label in enumerate(labels):
+            series = ProtocolSeries(protocol=label)
+            for bandwidth_point in measured[position * n_rates : (position + 1) * n_rates]:
+                series.add(bandwidth_point)
+            all_series.append(series)
+        return all_series

@@ -9,6 +9,7 @@ sees the *same* arrival trace (common random numbers).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -16,7 +17,6 @@ import numpy as np
 
 from ..analysis.metrics import BandwidthPoint, ProtocolSeries
 from ..errors import ConfigurationError
-from ..protocols.registry import ProtocolContext, build_protocol, is_slotted
 from ..sim.continuous import ContinuousSimulation, ReactiveModel
 from ..sim.rng import RandomStreams
 from ..sim.slotted import SlottedModel, SlottedSimulation
@@ -27,13 +27,41 @@ AnyProtocol = Union[SlottedModel, ReactiveModel]
 ProtocolFactory = Callable[[float], AnyProtocol]
 
 
+#: Memoised common-random-numbers traces, keyed (seed, rate, horizon hours).
+#: A multi-protocol sweep visits each key once per *protocol*; the cache
+#: makes every visit after the first free.  Entries are marked read-only so
+#: sharing one array across protocols can never leak state between them.
+_TRACE_CACHE: "OrderedDict[Tuple[int, float, float], np.ndarray]" = OrderedDict()
+_TRACE_CACHE_MAX = 64
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoised arrival trace (tests and memory-sensitive callers)."""
+    _TRACE_CACHE.clear()
+
+
 def arrivals_for_rate(
     config: SweepConfig, rate_per_hour: float
 ) -> np.ndarray:
-    """The seeded arrival trace every protocol shares at ``rate_per_hour``."""
-    horizon = config.horizon_hours(rate_per_hour) * 3600.0
+    """The seeded arrival trace every protocol shares at ``rate_per_hour``.
+
+    Deterministic in ``(config.seed, rate_per_hour, horizon)`` and memoised
+    on exactly that key, so repeated calls — one per protocol in a sweep —
+    return the same (read-only) array without regenerating it.
+    """
+    horizon_hours = config.horizon_hours(rate_per_hour)
+    key = (config.seed, float(rate_per_hour), horizon_hours)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        _TRACE_CACHE.move_to_end(key)
+        return cached
     rng = RandomStreams(config.seed).get(f"arrivals@{rate_per_hour:g}")
-    return PoissonArrivals(rate_per_hour).generate(horizon, rng)
+    trace = PoissonArrivals(rate_per_hour).generate(horizon_hours * 3600.0, rng)
+    trace.setflags(write=False)
+    _TRACE_CACHE[key] = trace
+    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
 
 
 def measure_protocol(
@@ -217,7 +245,10 @@ def replicate_measurement(
 
 
 def sweep_protocols(
-    names: Sequence[str], config: SweepConfig, labels: Optional[Sequence[str]] = None
+    names: Sequence[str],
+    config: SweepConfig,
+    labels: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> List[ProtocolSeries]:
     """Sweep several registry protocols under common random numbers.
 
@@ -230,20 +261,12 @@ def sweep_protocols(
         Sweep parameters.
     labels:
         Optional display labels, parallel to ``names``.
+    n_jobs:
+        Worker processes for the sweep grid; ``None`` defers to the
+        ``REPRO_SWEEP_JOBS`` environment variable, defaulting to serial.
+        Parallel runs reproduce the serial series bit-for-bit (see
+        :mod:`repro.experiments.parallel`).
     """
-    if labels is None:
-        labels = list(names)
-    if len(labels) != len(names):
-        raise ConfigurationError("labels must parallel names")
-    all_series: List[ProtocolSeries] = []
-    for name, label in zip(names, labels):
-        def factory(rate: float, _name: str = name) -> AnyProtocol:
-            context = ProtocolContext(
-                n_segments=config.n_segments,
-                duration=config.duration,
-                rate_per_hour=rate,
-            )
-            return build_protocol(_name, context)
+    from .parallel import ParallelSweepExecutor
 
-        all_series.append(sweep_factory(label, factory, config))
-    return all_series
+    return ParallelSweepExecutor(n_jobs=n_jobs).sweep(names, config, labels)

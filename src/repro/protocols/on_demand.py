@@ -16,12 +16,26 @@ Because occurrences of a segment are evenly spaced with a period no larger
 than the segment's deadline, the first occurrence is always on time, and
 marking is idempotent — overlapping requests share marked occurrences, which
 is where all the bandwidth savings come from.
+
+Marked occurrences are stored in a
+:class:`~repro.core.schedule.SlotSchedule` — the same array-backed slot
+store the dynamic protocols use — which makes per-slot load reads O(1) and
+lets admission run vectorised: one numpy expression computes every
+segment's next occurrence, one compare against the schedule's
+future-instance index finds the (few, at saturation) occurrences not yet
+marked.  Since admissions arrive in non-decreasing slot order within a
+simulation, a segment's marked occurrences are non-decreasing too, so
+"already marked" is exactly "equals the segment's latest scheduled
+instance".
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+import numpy as np
+
+from ..core.schedule import SlotSchedule
 from ..errors import ConfigurationError
 from ..sim.slotted import SlottedModel
 from .base import StaticMap
@@ -44,8 +58,9 @@ class OnDemandMapProtocol(SlottedModel):
             period = static_map.period_of(segment)
             offset = self._first_offset(static_map, segment, period)
             self._timing.append((period, offset))
-        self._marked: Dict[int, Set[int]] = {}
-        self._released_before = 0
+        self._periods_np = np.array([p for p, _ in self._timing], dtype=np.int64)
+        self._offsets_np = np.array([o for _, o in self._timing], dtype=np.int64)
+        self._schedule = SlotSchedule(static_map.n_segments)
         self.requests_admitted = 0
 
     @staticmethod
@@ -65,6 +80,18 @@ class OnDemandMapProtocol(SlottedModel):
         """Streams of the underlying map (the saturation bandwidth)."""
         return self.map.n_streams
 
+    @property
+    def _marked(self) -> Dict[int, Set[int]]:
+        """Marked occurrences as {slot: segments} (audit/compatibility view).
+
+        Derived from the backing schedule on access; tests use it to check
+        marks against the underlying fixed map.
+        """
+        return {
+            slot: set(self._schedule.segments_in(slot))
+            for slot in self._schedule.occupied_slots()
+        }
+
     def next_occurrence(self, segment: int, after_slot: int) -> int:
         """First slot ``>= after_slot`` in which ``segment`` is broadcast."""
         period, offset = self._timing[segment - 1]
@@ -73,18 +100,31 @@ class OnDemandMapProtocol(SlottedModel):
         return offset + -(-(after_slot - offset) // period) * period
 
     def handle_request(self, slot: int) -> None:
-        """Mark, for each segment, its first occurrence after ``slot``."""
-        for segment in range(1, self.map.n_segments + 1):
-            occurrence = self.next_occurrence(segment, slot + 1)
-            self._marked.setdefault(occurrence, set()).add(segment)
+        """Mark, for each segment, its first occurrence after ``slot``.
+
+        Vectorised: occurrences for all segments in one expression, then
+        only the not-yet-marked ones (``occurrence != latest scheduled``)
+        touch the store.  Marking is idempotent because occurrences are
+        non-decreasing across admissions.
+        """
+        schedule = self._schedule
+        after = slot + 1
+        delta = after - self._offsets_np
+        periods = self._periods_np
+        steps = -(delta // -periods)  # ceil-div; <= 0 when after <= offset
+        occurrences = self._offsets_np + np.maximum(steps, 0) * periods
+        fresh = (occurrences != schedule.next_transmissions).nonzero()[0]
+        if fresh.size:
+            add = schedule.add
+            targets = occurrences[fresh].tolist()
+            for index, occurrence in zip(fresh.tolist(), targets):
+                add(occurrence, index + 1)
         self.requests_admitted += 1
 
     def slot_load(self, slot: int) -> int:
         """Occurrences actually transmitted during ``slot``."""
-        return len(self._marked.get(slot, ()))
+        return self._schedule.load(slot)
 
     def release_before(self, slot: int) -> None:
         """Drop bookkeeping for slots ``< slot``."""
-        for old in range(self._released_before, slot):
-            self._marked.pop(old, None)
-        self._released_before = max(self._released_before, slot)
+        self._schedule.release_before(slot)

@@ -139,7 +139,9 @@ class SlottedSimulation:
         """Simulate the protocol over ``arrival_times`` (seconds, sorted).
 
         Arrivals beyond the horizon are ignored.  Returns the measured
-        bandwidth and waiting-time statistics.
+        bandwidth and waiting-time statistics.  Accepts any sorted,
+        indexable sequence — typically the runner's (read-only, shared)
+        numpy trace — and never copies it.
         """
         d = self.slot_duration
         recorder = SlotLoadRecorder(self.warmup_slots, keep_series=self.keep_series)
@@ -147,7 +149,7 @@ class SlottedSimulation:
         waits: List[float] = []
         previous = -math.inf
         arrival_index = 0
-        arrivals = list(arrival_times)
+        arrivals = arrival_times
         n_arrivals = len(arrivals)
 
         for slot in range(self.horizon_slots):

@@ -167,3 +167,47 @@ def test_release_before_keeps_future_schedule():
     protocol.handle_request(slot=3)  # shares S4, S5 scheduled at 4, 5
     plan = protocol.clients[1]
     assert plan.shared[4] and plan.shared[5]
+
+
+class TestFastPathEquivalence:
+    """The vectorized admission path must be indistinguishable from the
+    generic chooser loop — same schedule, same counters, slot by slot."""
+
+    @staticmethod
+    def _latest_min_via_generic(protocol):
+        """Force the generic chooser loop by using a distinct-but-equal callable."""
+        from repro.core.heuristic import latest_min_load_chooser
+
+        protocol.chooser = lambda load, first, last: latest_min_load_chooser(
+            load, first, last
+        )
+        return protocol
+
+    def test_random_trace_matches_generic_loop(self):
+        import random
+
+        rng = random.Random(1234)
+        fast = DHBProtocol(n_segments=25)
+        slow = self._latest_min_via_generic(DHBProtocol(n_segments=25))
+        slot = 0
+        for _ in range(400):
+            slot += rng.choice((0, 0, 0, 1, 1, 3, 10))
+            fast.handle_request(slot)
+            slow.handle_request(slot)
+        assert fast.requests_admitted == slow.requests_admitted == 400
+        assert fast.schedule.total_instances == slow.schedule.total_instances
+        horizon = slot + 30
+        loads_fast = [fast.slot_load(s) for s in range(horizon)]
+        loads_slow = [slow.slot_load(s) for s in range(horizon)]
+        assert loads_fast == loads_slow
+        for s in range(horizon):
+            assert fast.schedule.segments_in(s) == slow.schedule.segments_in(s)
+
+    def test_track_clients_uses_generic_loop_and_agrees(self):
+        fast = DHBProtocol(n_segments=10)
+        tracked = DHBProtocol(n_segments=10, track_clients=True)
+        for slot in (0, 0, 2, 5, 5, 9):
+            fast.handle_request(slot)
+            tracked.handle_request(slot)
+        for s in range(25):
+            assert fast.schedule.segments_in(s) == tracked.schedule.segments_in(s)

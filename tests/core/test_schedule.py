@@ -1,8 +1,12 @@
 """Tests for repro.core.schedule."""
 
+import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import SchedulingError
+from repro.core.heuristic import latest_min_load_chooser
 from repro.core.schedule import SlotSchedule
 
 
@@ -83,6 +87,153 @@ def test_segment_bounds_checked():
 def test_invalid_sizes():
     with pytest.raises(SchedulingError):
         SlotSchedule(n_segments=0)
+
+
+def test_release_before_large_slot_jump():
+    """Regression: a sparse trace may jump the floor forward by millions of
+    slots; the release must pay for occupied slots, not for the gap."""
+    schedule = SlotSchedule(n_segments=4)
+    schedule.add(3, 1)
+    schedule.add(10, 2)
+    schedule.release_before(10**9)  # O(gap) would take minutes here
+    assert schedule.occupied_slots() == []
+    assert schedule.load(3) == 0
+    assert schedule.load(10) == 0
+    assert schedule.load(10**9 + 5) == 0
+    # The floor moved: old slots are rejected, new ones work.
+    with pytest.raises(SchedulingError):
+        schedule.add(10, 1)
+    schedule.add(10**9 + 2, 3)
+    assert schedule.load(10**9 + 2) == 1
+    assert schedule.next_transmission(3) == 10**9 + 2
+
+
+def test_interleaved_adds_and_large_releases():
+    schedule = SlotSchedule(n_segments=3)
+    slot = 0
+    for hop in (1, 7, 5_000, 123, 10**6, 42):
+        schedule.add(slot + 2, 1)
+        schedule.add(slot + 2, 3)
+        assert schedule.load(slot + 2) == 2
+        slot += hop
+        schedule.release_before(slot)
+    assert schedule.total_instances == 12
+
+
+class TestWindowLoads:
+    def test_view_matches_loads(self):
+        schedule = SlotSchedule(n_segments=5)
+        for slot, segment in ((2, 1), (2, 2), (4, 3), (5, 4)):
+            schedule.add(slot, segment)
+        window = schedule.window_loads(1, 6)
+        assert window.tolist() == [0, 2, 0, 1, 1, 0]
+        assert window.dtype == np.int64
+
+    def test_view_is_live(self):
+        schedule = SlotSchedule(n_segments=5)
+        window = schedule.window_loads(1, 3)
+        assert window.tolist() == [0, 0, 0]
+        schedule.add(2, 1)
+        assert window.tolist() == [0, 1, 0]
+
+    def test_empty_window_rejected(self):
+        schedule = SlotSchedule(n_segments=2)
+        with pytest.raises(SchedulingError):
+            schedule.window_loads(5, 4)
+
+    def test_window_below_released_floor_rejected(self):
+        schedule = SlotSchedule(n_segments=2)
+        schedule.release_before(10)
+        with pytest.raises(SchedulingError):
+            schedule.window_loads(8, 12)
+
+
+class TestChooseLatestMin:
+    def test_matches_reference_chooser(self):
+        schedule = SlotSchedule(n_segments=6)
+        for slot, segment in ((1, 1), (2, 2), (2, 3), (4, 4)):
+            schedule.add(slot, segment)
+        for first, last in ((1, 4), (2, 2), (1, 6), (3, 5)):
+            assert schedule.choose_latest_min(first, last) == (
+                latest_min_load_chooser(schedule.load, first, last)
+            )
+
+    def test_large_window_uses_vector_path(self):
+        schedule = SlotSchedule(n_segments=99)
+        schedule.add(30, 1)
+        schedule.add(77, 2)
+        # Window of 99 slots (> the small-window threshold).
+        assert schedule.choose_latest_min(1, 99) == latest_min_load_chooser(
+            schedule.load, 1, 99
+        )
+
+    def test_empty_window_rejected(self):
+        schedule = SlotSchedule(n_segments=2)
+        with pytest.raises(SchedulingError):
+            schedule.choose_latest_min(3, 2)
+
+
+class TestPlaceLatestMin:
+    def test_places_where_choose_would(self):
+        reference = SlotSchedule(n_segments=4)
+        fused = SlotSchedule(n_segments=4)
+        for slot, segment in ((1, 1), (3, 2), (3, 3)):
+            reference.add(slot, segment)
+            fused.add(slot, segment)
+        expected = reference.choose_latest_min(1, 4)
+        reference.add(expected, 4)
+        chosen = fused.place_latest_min(1, 4, 4)
+        assert chosen == expected
+        for slot in range(6):
+            assert fused.segments_in(slot) == reference.segments_in(slot)
+        assert fused.next_transmission(4) == reference.next_transmission(4)
+
+    def test_validates_like_add(self):
+        schedule = SlotSchedule(n_segments=2)
+        with pytest.raises(SchedulingError):
+            schedule.place_latest_min(1, 3, 9)
+        with pytest.raises(SchedulingError):
+            schedule.place_latest_min(4, 3, 1)
+        schedule.release_before(5)
+        with pytest.raises(SchedulingError):
+            schedule.place_latest_min(3, 8, 1)
+
+
+@given(
+    instances=st.lists(
+        st.tuples(st.integers(0, 60), st.integers(1, 8)), max_size=60
+    ),
+    first=st.integers(0, 50),
+    width=st.integers(0, 30),
+)
+def test_choose_latest_min_agrees_with_reference(instances, first, width):
+    """Property: the fused chooser == the paper's reference rule, always."""
+    schedule = SlotSchedule(n_segments=8)
+    for slot, segment in instances:
+        schedule.add(slot, segment)
+    last = first + width
+    assert schedule.choose_latest_min(first, last) == latest_min_load_chooser(
+        schedule.load, first, last
+    )
+
+
+@given(
+    instances=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(1, 5)), max_size=40
+    ),
+    floor=st.integers(0, 250),
+)
+def test_release_keeps_loads_consistent(instances, floor):
+    """Property: after any release, loads match a dict-of-lists rebuild."""
+    schedule = SlotSchedule(n_segments=5)
+    expected = {}
+    for slot, segment in instances:
+        schedule.add(slot, segment)
+        expected.setdefault(slot, []).append(segment)
+    schedule.release_before(floor)
+    for slot in range(260):
+        want = len(expected.get(slot, ())) if slot >= floor else 0
+        assert schedule.load(slot) == want
 
 
 class TestWeights:

@@ -66,5 +66,7 @@ def test_subtract_partition_property(base, covers):
     for gap_start, gap_end in gaps:
         assert base[0] <= gap_start < gap_end <= base[1]
         for cover_start, cover_end in covers:
-            # Gaps never intersect any cover.
+            if cover_end <= cover_start:
+                continue  # zero-width covers are empty: nothing to intersect
+            # Gaps never intersect any non-empty cover.
             assert gap_end <= cover_start or gap_start >= cover_end
