@@ -1,18 +1,33 @@
 # Convenience targets for the DHB reproduction.
 
-.PHONY: install test bench bench-json figures clean
+.PHONY: install test lint bench bench-json bench-check figures clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# Mirrors the tier-1 CI command exactly.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+# Uses ruff when installed; otherwise falls back to the dependency-free
+# AST linter, which enforces the same rule set (see pyproject [tool.ruff]).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks tools; \
+	else \
+		echo "ruff not found; using tools/lint.py fallback"; \
+		python tools/lint.py; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only
 
 bench-json:
 	PYTHONPATH=src python benchmarks/perf_report.py
+
+# Regression gate: fresh quick benches vs the committed BENCH_sweep.json.
+bench-check:
+	PYTHONPATH=src python benchmarks/check_regression.py
 
 figures:
 	python -m repro.cli figures

@@ -9,7 +9,6 @@ measure exactly that, plus the other constructive hot paths.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.dhb import DHBProtocol
 from repro.protocols.npb import pagoda_map

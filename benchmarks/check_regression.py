@@ -1,0 +1,167 @@
+"""Bench-regression gate: fail CI when the hot paths get meaningfully slower.
+
+Runs a fresh quick perf report (``perf_report.run_report``) and compares it
+bench-by-bench against the committed ``BENCH_sweep.json`` baseline::
+
+    make bench-check           # or: python benchmarks/check_regression.py
+    python benchmarks/check_regression.py --threshold 2.0 --repeats 2
+
+The comparison is deliberately coarse — this is a >2x "someone quadratic-ed
+the hot loop" tripwire, not a microbenchmark suite:
+
+* **Calibration scaling.**  Both reports carry ``calibration_seconds``, the
+  timing of a fixed spin loop on the producing machine.  Fresh timings are
+  divided by the calibration ratio so a committed baseline from a faster or
+  slower box still gates correctly.
+* **Noise floor.**  A fixed floor is added to both sides of the ratio so
+  microsecond-scale benches cannot trip the gate on scheduler jitter.
+* **Determinism check.**  The fresh ``fig7_quick_parallel`` bench must
+  report ``verified: 1`` — the serial/parallel bit-for-bit equality
+  invariant is part of the gate, not just the timings.
+
+Exit status: 0 when every bench passes, 1 on any regression or missing
+bench, 2 on a malformed/missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:  # installed package, or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # direct invocation from a source checkout
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Default committed baseline, regenerated via ``make bench-json``.
+DEFAULT_BASELINE = _REPO_ROOT / "BENCH_sweep.json"
+
+#: Seconds added to both sides of the ratio so tiny benches ignore jitter.
+NOISE_FLOOR_SECONDS = 0.005
+
+#: Fresh/baseline slowdown beyond which a bench fails the gate.
+DEFAULT_THRESHOLD = 2.0
+
+
+def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
+    """How much faster the fresh machine is than the baseline machine.
+
+    Returns ``fresh_calibration / baseline_calibration`` (>1 means the
+    fresh machine is *slower*), or 1.0 when either report predates the
+    calibration field.
+    """
+    fresh_cal = fresh.get("calibration_seconds")
+    base_cal = baseline.get("calibration_seconds")
+    if not fresh_cal or not base_cal:
+        return 1.0
+    return float(fresh_cal) / float(base_cal)
+
+
+def compare(
+    fresh: Dict,
+    baseline: Dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_floor: float = NOISE_FLOOR_SECONDS,
+) -> Tuple[List[str], List[str]]:
+    """Gate a fresh report against a baseline.
+
+    Returns ``(lines, failures)``: human-readable per-bench report lines,
+    and the subset describing failures (empty means the gate passes).
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    scale = calibration_ratio(fresh, baseline)
+    lines.append(f"calibration ratio (fresh/baseline): {scale:.3f}")
+    fresh_benches = fresh.get("benches", {})
+    for name, base_entry in sorted(baseline.get("benches", {}).items()):
+        fresh_entry = fresh_benches.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from fresh report")
+            lines.append(failures[-1])
+            continue
+        base_seconds = float(base_entry["seconds"])
+        fresh_seconds = float(fresh_entry["seconds"]) / scale
+        ratio = (fresh_seconds + noise_floor) / (base_seconds + noise_floor)
+        verdict = "ok" if ratio <= threshold else f"REGRESSION (> {threshold:.1f}x)"
+        lines.append(
+            f"{name:28s} base {base_seconds * 1000:9.2f} ms   "
+            f"fresh {fresh_seconds * 1000:9.2f} ms   x{ratio:5.2f}   {verdict}"
+        )
+        if ratio > threshold:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline")
+    parallel = fresh_benches.get("fig7_quick_parallel", {}).get("detail", {})
+    if parallel.get("verified") != 1:
+        failures.append(
+            "fig7_quick_parallel: serial/parallel equality not verified "
+            f"(detail: {parallel!r})"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append("fig7_quick_parallel            serial == parallel verified")
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline report (default: BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        default=None,
+        help="precomputed fresh report; omit to run the benches now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fresh/baseline slowdown (default: 2.0)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="best-of repetitions per bench"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fresh is not None:
+        try:
+            fresh = json.loads(args.fresh.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read fresh report {args.fresh}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            from .perf_report import calibrate, run_report
+        except ImportError:  # run as a script rather than as benchmarks.*
+            from perf_report import calibrate, run_report
+
+        fresh = run_report(max(1, args.repeats))
+        fresh["calibration_seconds"] = calibrate()
+
+    lines, failures = compare(fresh, baseline, threshold=args.threshold)
+    print("\n".join(lines))
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} issue(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

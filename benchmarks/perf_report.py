@@ -49,6 +49,7 @@ def bench_dhb_saturated() -> Dict[str, float]:
         protocol.handle_request(slot)
     return {"requests": 2000, "instances": protocol.schedule.total_instances}
 
+
 def bench_dhb_cold() -> Dict[str, float]:
     """Sparse admissions (little sharing): the constructive worst case."""
     protocol = DHBProtocol(n_segments=99)
@@ -95,7 +96,27 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
 }
 
 
-def time_bench(bench: Callable[[], Dict[str, float]], repeats: int) -> Tuple[float, Dict[str, float]]:
+def calibrate() -> float:
+    """Best-of-3 wall time of a fixed CPU-bound spin loop, in seconds.
+
+    The loop does the same arithmetic everywhere, so its timing is a pure
+    measure of single-core speed on the machine that produced a report.
+    ``check_regression.py`` divides two reports' calibrations to normalize
+    bench timings taken on different hardware before comparing them.
+    """
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(500_000):
+            acc += i * i & 0xFFFF
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_bench(
+    bench: Callable[[], Dict[str, float]], repeats: int
+) -> Tuple[float, Dict[str, float]]:
     """Best-of-``repeats`` wall time (and the final run's detail payload)."""
     best = float("inf")
     detail: Dict[str, float] = {}
@@ -112,12 +133,15 @@ def run_report(repeats: int) -> Dict[str, object]:
         seconds, detail = time_bench(bench, repeats)
         benches[name] = {"seconds": round(seconds, 6), "detail": detail}
         print(f"{name:28s} {seconds * 1000:10.2f} ms  {detail}")
+    calibration = calibrate()
+    print(f"{'calibration':28s} {calibration * 1000:10.2f} ms  (spin-loop)")
     return {
         "schema": 1,
         "repeats": repeats,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "calibration_seconds": round(calibration, 6),
         "benches": benches,
     }
 

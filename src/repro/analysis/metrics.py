@@ -8,7 +8,7 @@ per protocol.  :class:`BandwidthPoint` is one measured point;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import ConfigurationError
 

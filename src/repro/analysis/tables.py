@@ -7,7 +7,7 @@ plotting stack.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..errors import ConfigurationError
 from .metrics import ProtocolSeries

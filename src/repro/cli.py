@@ -12,13 +12,27 @@ Usage::
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
 workload seed.
+
+The sweep commands (fig7, fig8, fig9) also accept observability outputs
+(see ``docs/OBSERVABILITY.md`` for the schemas)::
+
+    repro-cli fig7 --quick --metrics-out run.json --trace-out trace.jsonl
+
+``--metrics-out`` writes a JSON document with the run manifest (protocols,
+parameters, seed, git SHA, versions, duration, peak RSS) and every metric
+the layers emitted; ``--trace-out`` streams one JSON line per simulated
+slot (slot index, scheduled instances, load, active streams).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from dataclasses import asdict
+from typing import Iterator, List, Optional, Sequence
 
 from .analysis.tables import format_series_table, format_simple_table
 from .core.variants import make_all_variants
@@ -31,11 +45,17 @@ from .experiments.ablations import (
 from .experiments.catalog import run_catalog
 from .experiments.config import SweepConfig
 from .experiments.fig1to5 import render_all_figures
-from .experiments.fig7 import report_fig7, run_fig7
-from .experiments.fig8 import report_fig8, run_fig8
+from .experiments.fig7 import FIG7_PROTOCOLS, report_fig7, run_fig7
+from .experiments.fig8 import FIG8_PROTOCOLS, report_fig8, run_fig8
 from .experiments.fig9 import FIG9_MAX_WAIT, report_fig9, run_fig9
+from .obs.manifest import ManifestRecorder
+from .obs.registry import MetricsRegistry
+from .obs.trace import JsonlTraceSink, Observation
 from .units import KILOBYTE
 from .video.matrix import matrix_like_video
+
+#: Commands that run measured sweeps and accept --metrics-out/--trace-out.
+OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9"})
 
 
 def _config(args: argparse.Namespace) -> SweepConfig:
@@ -45,20 +65,86 @@ def _config(args: argparse.Namespace) -> SweepConfig:
     return config
 
 
+class _ObservedRun:
+    """The CLI's observability session: observation in, files out."""
+
+    def __init__(self, observation: Optional[Observation]):
+        self.observation = observation
+
+
+@contextlib.contextmanager
+def _observed(
+    args: argparse.Namespace,
+    experiment: str,
+    protocols: Sequence[str],
+    config: SweepConfig,
+) -> Iterator[_ObservedRun]:
+    """Wire up --metrics-out/--trace-out for one sweep command.
+
+    Yields an :class:`_ObservedRun` whose ``observation`` is ``None`` when
+    neither flag was given (sweeps then run with observability off).  On
+    exit, the manifest is completed, the trace sink closed, and the
+    metrics document written.
+    """
+    if not (args.metrics_out or args.trace_out):
+        yield _ObservedRun(None)
+        return
+    registry = MetricsRegistry()
+    sink = JsonlTraceSink(args.trace_out) if args.trace_out else None
+    recorder = ManifestRecorder(
+        experiment,
+        protocols=protocols,
+        params=asdict(config),
+        seed=config.seed,
+        # Resolve the git SHA against the package's own checkout, not the
+        # caller's cwd, so manifests carry provenance wherever the CLI runs.
+        repo_root=pathlib.Path(__file__).resolve().parent,
+    )
+    try:
+        with recorder:
+            yield _ObservedRun(Observation(metrics=registry, trace=sink))
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.metrics_out:
+        document = {
+            "schema": 1,
+            "manifest": recorder.manifest.to_dict(),
+            "metrics": registry.to_dict(),
+            "trace": (
+                {"path": str(args.trace_out), "records": sink.records_written}
+                if sink is not None
+                else None
+            ),
+        }
+        pathlib.Path(args.metrics_out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
+
 def _cmd_figures(args: argparse.Namespace) -> str:
     return render_all_figures()
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
-    return report_fig7(run_fig7(_config(args)))
+    config = _config(args)
+    labels = [label for _, label in FIG7_PROTOCOLS]
+    with _observed(args, "fig7", labels, config) as run:
+        return report_fig7(run_fig7(config, observation=run.observation))
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
-    return report_fig8(run_fig8(_config(args)))
+    config = _config(args)
+    labels = [label for _, label in FIG8_PROTOCOLS]
+    with _observed(args, "fig8", labels, config) as run:
+        return report_fig8(run_fig8(config, observation=run.observation))
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    return report_fig9(run_fig9(_config(args)))
+    config = _config(args)
+    labels = ["UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d"]
+    with _observed(args, "fig9", labels, config) as run:
+        return report_fig9(run_fig9(config, observation=run.observation))
 
 
 def _cmd_variants(args: argparse.Namespace) -> str:
@@ -153,12 +239,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="short horizons / few rates"
     )
     parser.add_argument("--seed", type=int, default=2001, help="workload seed")
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a run manifest + metrics JSON document (fig7/fig8/fig9)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="stream per-slot JSONL trace records (fig7/fig8/fig9)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (args.metrics_out or args.trace_out) and args.command not in OBSERVABLE_COMMANDS:
+        parser.error(
+            f"--metrics-out/--trace-out only apply to "
+            f"{'/'.join(sorted(OBSERVABLE_COMMANDS))}, not {args.command!r}"
+        )
     output = _COMMANDS[args.command](args)
     try:
         print(output)

@@ -127,6 +127,7 @@ class DHBProtocol(SlottedModel):
             return self._handle_request_fast(slot)
         plan = ClientPlan(arrival_slot=slot) if self.track_clients else None
         schedule = self.schedule
+        instances_before = schedule.total_instances if self.metrics is not None else 0
         for segment in range(1, self.n_segments + 1):
             window_end = slot + self._period_list[segment - 1]
             existing = (
@@ -148,6 +149,11 @@ class DHBProtocol(SlottedModel):
             if plan is not None:
                 plan.assign(segment, chosen, shared=False)
         self.requests_admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc()
+            self.metrics.counter("protocol.instances_scheduled").inc(
+                schedule.total_instances - instances_before
+            )
         if plan is not None:
             self.clients.append(plan)
         return plan
@@ -170,6 +176,9 @@ class DHBProtocol(SlottedModel):
             for index in needed.tolist():
                 place(first, slot + periods[index], index + 1)
         self.requests_admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc()
+            self.metrics.counter("protocol.instances_scheduled").inc(int(needed.size))
         return None
 
     def slot_load(self, slot: int) -> int:
@@ -179,6 +188,10 @@ class DHBProtocol(SlottedModel):
     def slot_weight(self, slot: int) -> float:
         """Weighted load of ``slot`` (bytes when weights are byte sizes)."""
         return self.schedule.weight(slot)
+
+    def slot_instances(self, slot: int) -> List[int]:
+        """Segment numbers scheduled in ``slot`` (for per-slot traces)."""
+        return self.schedule.segments_in(slot)
 
     def release_before(self, slot: int) -> None:
         """Garbage-collect schedule bookkeeping for slots ``< slot``."""

@@ -8,8 +8,8 @@ discarded, seeded workloads shared across protocols).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..errors import ConfigurationError
 from ..units import TWO_HOURS

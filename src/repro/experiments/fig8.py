@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from ..analysis.metrics import ProtocolSeries
 from ..analysis.tables import format_series_table
+from ..obs.trace import Observation
 from .config import SweepConfig
 from .runner import sweep_protocols
 
@@ -26,13 +27,16 @@ FIG8_PROTOCOLS = (
 )
 
 
-def run_fig8(config: Optional[SweepConfig] = None) -> List[ProtocolSeries]:
+def run_fig8(
+    config: Optional[SweepConfig] = None,
+    observation: Optional[Observation] = None,
+) -> List[ProtocolSeries]:
     """Regenerate Figure 8's three series."""
     if config is None:
         config = SweepConfig()
     names = [name for name, _ in FIG8_PROTOCOLS]
     labels = [label for _, label in FIG8_PROTOCOLS]
-    return sweep_protocols(names, config, labels)
+    return sweep_protocols(names, config, labels, observation=observation)
 
 
 def report_fig8(series: List[ProtocolSeries]) -> str:

@@ -29,6 +29,7 @@ from typing import List, Optional
 from ..analysis.metrics import ProtocolSeries
 from ..analysis.tables import format_series_table
 from ..core.variants import make_all_variants
+from ..obs.trace import Observation
 from ..protocols.ud import UniversalDistributionProtocol
 from ..units import MEGABYTE, MINUTE
 from ..video.matrix import matrix_like_video
@@ -53,12 +54,21 @@ def fig9_config(config: Optional[SweepConfig] = None, video: Optional[VBRVideo] 
 
 
 def run_fig9(
-    config: Optional[SweepConfig] = None, video: Optional[VBRVideo] = None
+    config: Optional[SweepConfig] = None,
+    video: Optional[VBRVideo] = None,
+    observation: Optional[Observation] = None,
 ) -> List[ProtocolSeries]:
-    """Regenerate Figure 9's five series (bandwidths in bytes/second)."""
+    """Regenerate Figure 9's five series (bandwidths in bytes/second).
+
+    ``observation`` threads the metrics registry and optional per-slot
+    trace sink through every measured point (this sweep runs serially, so
+    records land in sweep order).
+    """
     config, video = fig9_config(config, video)
     variants = make_all_variants(video, FIG9_MAX_WAIT)
     peak_rate = video.peak_bandwidth(window_seconds=1)
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
 
     all_series: List[ProtocolSeries] = [ProtocolSeries("UD")]
     for name in ("DHB-a", "DHB-b", "DHB-c", "DHB-d"):
@@ -75,6 +85,9 @@ def run_fig9(
                 arrival_times=arrivals,
                 stream_bandwidth=peak_rate,
                 slot_duration=FIG9_MAX_WAIT,
+                metrics=metrics,
+                trace=trace,
+                trace_context={"protocol": "UD", "rate_per_hour": rate},
             )
         )
         for index, name in enumerate(("DHB-a", "DHB-b", "DHB-c", "DHB-d")):
@@ -87,6 +100,9 @@ def run_fig9(
                     arrival_times=arrivals,
                     stream_bandwidth=variant.stream_rate,
                     slot_duration=variant.slot_duration,
+                    metrics=metrics,
+                    trace=trace,
+                    trace_context={"protocol": name, "rate_per_hour": rate},
                 )
             )
     return all_series

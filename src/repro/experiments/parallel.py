@@ -23,10 +23,12 @@ path rather than failing the sweep.
 from __future__ import annotations
 
 import os
-from typing import List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from ..analysis.metrics import BandwidthPoint, ProtocolSeries
 from ..errors import ConfigurationError
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import MemoryTraceSink, Observation
 from ..protocols.registry import ProtocolContext, build_protocol
 from .config import SweepConfig
 
@@ -83,6 +85,50 @@ def _measure_point(point: SweepPoint, config: SweepConfig) -> BandwidthPoint:
     )
 
 
+class ObservedCell(NamedTuple):
+    """One observed grid cell: the point plus its portable observability state.
+
+    ``metrics`` is a :meth:`~repro.obs.registry.MetricsRegistry.to_dict`
+    snapshot and ``trace`` a list of plain record dicts — both picklable and
+    JSON-safe, so cells cross process boundaries unchanged and the parent
+    can merge them deterministically in task order.
+    """
+
+    point: BandwidthPoint
+    metrics: Dict
+    trace: List[Dict]
+
+
+def _measure_point_observed(
+    point: SweepPoint, config: SweepConfig, want_trace: bool
+) -> ObservedCell:
+    """Measure one grid cell under a fresh, cell-local registry/sink."""
+    from .runner import arrivals_for_rate, measure_protocol
+
+    context = ProtocolContext(
+        n_segments=config.n_segments,
+        duration=config.duration,
+        rate_per_hour=point.rate_per_hour,
+    )
+    protocol = build_protocol(point.name, context)
+    registry = MetricsRegistry()
+    sink = MemoryTraceSink() if want_trace else None
+    bandwidth_point = measure_protocol(
+        protocol,
+        config,
+        point.rate_per_hour,
+        arrival_times=arrivals_for_rate(config, point.rate_per_hour),
+        metrics=registry,
+        trace=sink,
+        trace_context={"protocol": point.label, "rate_per_hour": point.rate_per_hour},
+    )
+    return ObservedCell(
+        point=bandwidth_point,
+        metrics=registry.to_dict(),
+        trace=sink.records if sink is not None else [],
+    )
+
+
 class ParallelSweepExecutor:
     """Fans sweep grid points across a process pool.
 
@@ -105,14 +151,29 @@ class ParallelSweepExecutor:
         self.n_jobs = resolve_n_jobs(n_jobs)
 
     def measure_points(
-        self, points: Sequence[SweepPoint], config: SweepConfig
+        self,
+        points: Sequence[SweepPoint],
+        config: SweepConfig,
+        observation: Optional[Observation] = None,
     ) -> List[BandwidthPoint]:
         """Measure every grid point, preserving input order.
 
         The parallel path produces exactly the serial path's numbers: the
         per-point computation is deterministic in ``(point, config)`` and
-        carries no cross-point state.
+        carries no cross-point state.  With an ``observation``, every cell
+        runs under its own registry (and in-memory trace buffer when the
+        observation has a sink); the parent merges registries and re-emits
+        trace records **in task order**, so the merged observability state
+        is identical however the cells were scheduled.
         """
+        if observation is not None:
+            cells = self._measure_cells(points, config, observation.trace is not None)
+            for cell in cells:
+                observation.metrics.merge_dict(cell.metrics)
+                if observation.trace is not None:
+                    for record in cell.trace:
+                        observation.trace.emit(record)
+            return [cell.point for cell in cells]
         if self.n_jobs == 1 or len(points) <= 1:
             return [_measure_point(point, config) for point in points]
         from concurrent.futures import ProcessPoolExecutor
@@ -129,18 +190,44 @@ class ParallelSweepExecutor:
             # environments that forbid them rather than failing the sweep.
             return [_measure_point(point, config) for point in points]
 
+    def _measure_cells(
+        self, points: Sequence[SweepPoint], config: SweepConfig, want_trace: bool
+    ) -> List[ObservedCell]:
+        """The observed twin of the grid fan-out (same pool semantics)."""
+        if self.n_jobs == 1 or len(points) <= 1:
+            return [
+                _measure_point_observed(point, config, want_trace) for point in points
+            ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(self.n_jobs, len(points))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_measure_point_observed, point, config, want_trace)
+                    for point in points
+                ]
+                return [future.result() for future in futures]
+        except (OSError, PermissionError):
+            return [
+                _measure_point_observed(point, config, want_trace) for point in points
+            ]
+
     def sweep(
         self,
         names: Sequence[str],
         config: SweepConfig,
         labels: Optional[Sequence[str]] = None,
+        observation: Optional[Observation] = None,
     ) -> List[ProtocolSeries]:
         """Sweep registry protocols over every configured rate.
 
         The (protocol × rate) grid is flattened into independent points,
         measured (possibly out of order, across processes), and reassembled
         into one :class:`~repro.analysis.metrics.ProtocolSeries` per
-        protocol in the caller's order.
+        protocol in the caller's order.  ``observation`` threads a metrics
+        registry (and optional trace sink) through every cell; see
+        :meth:`measure_points`.
         """
         if labels is None:
             labels = list(names)
@@ -151,7 +238,7 @@ class ParallelSweepExecutor:
             for name, label in zip(names, labels)
             for rate in config.rates_per_hour
         ]
-        measured = self.measure_points(points, config)
+        measured = self.measure_points(points, config, observation=observation)
         n_rates = len(config.rates_per_hour)
         all_series: List[ProtocolSeries] = []
         for position, label in enumerate(labels):

@@ -10,13 +10,16 @@ sees the *same* arrival trace (common random numbers).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..analysis.metrics import BandwidthPoint, ProtocolSeries
 from ..errors import ConfigurationError
+from ..obs.manifest import ManifestRecorder, RunManifest
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Observation, TraceSink
 from ..sim.continuous import ContinuousSimulation, ReactiveModel
 from ..sim.rng import RandomStreams
 from ..sim.slotted import SlottedModel, SlottedSimulation
@@ -72,6 +75,9 @@ def measure_protocol(
     stream_bandwidth: float = 1.0,
     slot_duration: Optional[float] = None,
     byte_weighted: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceSink] = None,
+    trace_context: Optional[Dict] = None,
 ) -> BandwidthPoint:
     """Simulate one protocol at one rate and reduce to a bandwidth point.
 
@@ -98,20 +104,38 @@ def measure_protocol(
         length — i.e. transmitted bytes/second when the protocol carries
         per-segment byte weights (Figure 9 accounting).  Only valid for
         slotted protocols; ``stream_bandwidth`` is ignored.
+    metrics:
+        Optional metrics registry threaded into the simulation driver and
+        bound to the protocol (admission/stream counters, slot-load
+        histogram, run timers).
+    trace:
+        Optional per-slot trace sink (slotted protocols only; reactive
+        protocols have no slot structure to trace).
+    trace_context:
+        Extra fields copied into every trace record (protocol label,
+        rate, ...).
     """
     if rate_per_hour <= 0:
         raise ConfigurationError("rate must be > 0")
     if arrival_times is None:
         arrival_times = arrivals_for_rate(config, rate_per_hour)
     horizon_seconds = config.horizon_hours(rate_per_hour) * 3600.0
+    if metrics is not None:
+        metrics.counter("measure.points").inc()
 
     if isinstance(protocol, SlottedModel):
         d = slot_duration if slot_duration is not None else config.slot_duration
         horizon_slots = int(horizon_seconds / d)
         warmup_slots = int(horizon_slots * config.warmup_fraction)
-        result = SlottedSimulation(protocol, d, horizon_slots, warmup_slots).run(
-            arrival_times
-        )
+        result = SlottedSimulation(
+            protocol,
+            d,
+            horizon_slots,
+            warmup_slots,
+            metrics=metrics,
+            trace=trace,
+            trace_context=trace_context,
+        ).run(arrival_times)
         if byte_weighted:
             return BandwidthPoint(
                 rate_per_hour=rate_per_hour,
@@ -131,9 +155,9 @@ def measure_protocol(
         raise ConfigurationError("byte-weighted accounting needs a slotted protocol")
     if isinstance(protocol, ReactiveModel):
         warmup = horizon_seconds * config.warmup_fraction
-        result = ContinuousSimulation(protocol, horizon_seconds, warmup).run(
-            arrival_times
-        )
+        result = ContinuousSimulation(
+            protocol, horizon_seconds, warmup, metrics=metrics
+        ).run(arrival_times)
         return BandwidthPoint(
             rate_per_hour=rate_per_hour,
             mean_bandwidth=result.mean_streams * stream_bandwidth,
@@ -249,6 +273,7 @@ def sweep_protocols(
     config: SweepConfig,
     labels: Optional[Sequence[str]] = None,
     n_jobs: Optional[int] = None,
+    observation: Optional[Observation] = None,
 ) -> List[ProtocolSeries]:
     """Sweep several registry protocols under common random numbers.
 
@@ -266,7 +291,73 @@ def sweep_protocols(
         ``REPRO_SWEEP_JOBS`` environment variable, defaulting to serial.
         Parallel runs reproduce the serial series bit-for-bit (see
         :mod:`repro.experiments.parallel`).
+    observation:
+        Optional :class:`~repro.obs.trace.Observation`.  Worker registries
+        are merged into ``observation.metrics`` in task order, and per-slot
+        records are re-emitted to ``observation.trace``, so parallel runs
+        report exactly the serial metrics too.
     """
     from .parallel import ParallelSweepExecutor
 
-    return ParallelSweepExecutor(n_jobs=n_jobs).sweep(names, config, labels)
+    return ParallelSweepExecutor(n_jobs=n_jobs).sweep(
+        names, config, labels, observation=observation
+    )
+
+
+@dataclass
+class SweepRun:
+    """A sweep's series plus the run record the observability layer kept.
+
+    Every observed sweep carries its own :class:`~repro.obs.manifest.RunManifest`
+    (what ran, under which software, at what cost) and the merged
+    :class:`~repro.obs.registry.MetricsRegistry` of all workers.
+    """
+
+    series: List[ProtocolSeries] = field(default_factory=list)
+    manifest: Optional[RunManifest] = None
+    metrics: Optional[MetricsRegistry] = None
+
+    def metrics_document(self) -> Dict:
+        """The JSON document written by ``--metrics-out``: manifest + metrics."""
+        return {
+            "schema": 1,
+            "manifest": self.manifest.to_dict() if self.manifest else None,
+            "metrics": self.metrics.to_dict() if self.metrics else {},
+        }
+
+
+def observed_sweep(
+    names: Sequence[str],
+    config: SweepConfig,
+    labels: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
+    trace: Optional[TraceSink] = None,
+    experiment: str = "sweep",
+) -> SweepRun:
+    """Run :func:`sweep_protocols` under full observability.
+
+    Creates a fresh registry, threads it (plus the optional trace sink)
+    through every measured point, and attaches a completed manifest to the
+    result.
+
+    >>> run = observed_sweep(["npb"], SweepConfig().quick(
+    ...     rates_per_hour=(30.0,), base_hours=2.0, min_requests=10))
+    >>> run.manifest.experiment
+    'sweep'
+    >>> run.metrics.counter("measure.points").value
+    1
+    """
+    if labels is None:
+        labels = list(names)
+    registry = MetricsRegistry()
+    observation = Observation(metrics=registry, trace=trace)
+    with ManifestRecorder(
+        experiment,
+        protocols=labels,
+        params=asdict(config),
+        seed=config.seed,
+    ) as recorder:
+        series = sweep_protocols(
+            names, config, labels, n_jobs=n_jobs, observation=observation
+        )
+    return SweepRun(series=series, manifest=recorder.manifest, metrics=registry)

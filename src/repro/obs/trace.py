@@ -1,0 +1,106 @@
+"""Trace sinks: streams of per-slot records.
+
+A *trace record* is a flat JSON-safe dict.  The slotted driver emits one
+per simulated slot::
+
+    {"kind": "slot", "slot": 42, "streams": 5, "weight": 5.0,
+     "instances": [1, 3, 9], "arrivals": 2, "measured": true,
+     "protocol": "DHB Protocol", "rate_per_hour": 50.0}
+
+``streams`` is the slot's load — the number of concurrently active data
+streams (each carrying one segment instance at the video consumption
+rate); ``instances`` lists the scheduled segment numbers; ``arrivals``
+counts the requests admitted during the slot; ``measured`` is false
+inside the warmup window.  Context fields (protocol label, rate) are
+attached by the experiment layer via ``trace_context``.
+
+Two sinks cover the use cases: :class:`JsonlTraceSink` streams records to
+a JSON-lines file (the CLI's ``--trace-out``); :class:`MemoryTraceSink`
+buffers them in a list — used by tests, and by sweep worker processes,
+which ship their buffered records back for the parent to re-emit in task
+order.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import IO, Dict, List, Mapping, Optional, Union
+
+from .registry import MetricsRegistry
+
+
+class TraceSink:
+    """Base sink: receives trace records; context-manager closeable."""
+
+    def emit(self, record: Mapping) -> None:
+        """Consume one trace record (a flat, JSON-safe mapping)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class MemoryTraceSink(TraceSink):
+    """Buffers records in memory (tests, worker processes).
+
+    >>> sink = MemoryTraceSink()
+    >>> sink.emit({"kind": "slot", "slot": 0, "streams": 1})
+    >>> sink.records[0]["slot"]
+    0
+    """
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def emit(self, record: Mapping) -> None:
+        self.records.append(dict(record))
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams records to a JSON-lines file, one compact object per line."""
+
+    def __init__(self, path: Union[str, pathlib.Path, IO[str]]):
+        if hasattr(path, "write"):
+            self._file: IO[str] = path  # type: ignore[assignment]
+            self._owns_file = False
+            self.path = None
+        else:
+            self.path = pathlib.Path(path)
+            self._file = self.path.open("w")
+            self._owns_file = True
+        self.records_written = 0
+
+    def emit(self, record: Mapping) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        self._file.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+        else:
+            self._file.flush()
+
+
+@dataclass
+class Observation:
+    """The observability hooks one run threads through the layers.
+
+    Attributes
+    ----------
+    metrics:
+        Registry every component emits counters/histograms/timers into.
+    trace:
+        Optional per-slot record sink (``None`` disables tracing).
+    """
+
+    metrics: MetricsRegistry
+    trace: Optional[TraceSink] = None

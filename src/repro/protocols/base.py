@@ -15,7 +15,6 @@ differ only in that map (the paper's Figures 1–3), so they share
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import gcd
 from typing import Dict, List
 
 from ..errors import ConfigurationError, SchedulingError
@@ -177,10 +176,16 @@ class StaticBroadcastProtocol(SlottedModel):
     def handle_request(self, slot: int) -> None:
         """Requests are served by the fixed schedule; nothing to do."""
         self.requests_admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc()
 
     def slot_load(self, slot: int) -> int:
         """Fixed protocols keep every stream busy in every slot."""
         return self.map.n_streams
+
+    def slot_instances(self, slot: int) -> List[int]:
+        """The map's segments for ``slot`` (fixed protocols always transmit)."""
+        return self.map.segments_in_slot(slot)
 
     def release_before(self, slot: int) -> None:
         """Stateless; nothing to release."""

@@ -19,7 +19,7 @@ paper notes, because the skyscraper widths pack fewer segments per stream.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from ..errors import ConfigurationError
 from ..sim.slotted import SlottedModel

@@ -35,7 +35,7 @@ joins the surviving structure; closed streams are emitted as busy intervals.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..errors import ConfigurationError
 from ..sim.continuous import BusyInterval, ReactiveModel

@@ -120,10 +120,17 @@ class OnDemandMapProtocol(SlottedModel):
             for index, occurrence in zip(fresh.tolist(), targets):
                 add(occurrence, index + 1)
         self.requests_admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc()
+            self.metrics.counter("protocol.instances_scheduled").inc(int(fresh.size))
 
     def slot_load(self, slot: int) -> int:
         """Occurrences actually transmitted during ``slot``."""
         return self._schedule.load(slot)
+
+    def slot_instances(self, slot: int) -> List[int]:
+        """Segment numbers marked for transmission in ``slot``."""
+        return self._schedule.segments_in(slot)
 
     def release_before(self, slot: int) -> None:
         """Drop bookkeeping for slots ``< slot``."""

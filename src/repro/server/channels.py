@@ -13,8 +13,7 @@ arrivals are Poisson, the blocking probability has the Erlang-B closed form
 from __future__ import annotations
 
 import heapq
-import math
-from typing import List, Optional
+from typing import List
 
 from ..errors import ConfigurationError
 from ..sim.continuous import BusyInterval, ReactiveModel

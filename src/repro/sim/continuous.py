@@ -12,17 +12,37 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .recorder import TimeWeightedRecorder
+
+if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
 
 #: A server stream: (start_time, end_time) in seconds.
 BusyInterval = Tuple[float, float]
 
 
 class ReactiveModel(abc.ABC):
-    """Interface the continuous-time driver requires of a reactive protocol."""
+    """Interface the continuous-time driver requires of a reactive protocol.
+
+    Observability mirrors :class:`~repro.sim.slotted.SlottedModel`: the
+    driver binds a registry via :meth:`bind_metrics`, and protocols may
+    emit admission/stream counters through :meth:`emit_metric`.
+    """
+
+    #: Bound metrics registry, or ``None`` (observability off).
+    metrics: Optional["MetricsRegistry"] = None
+
+    def bind_metrics(self, registry: Optional["MetricsRegistry"]) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        self.metrics = registry
+
+    def emit_metric(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` on the bound registry, if any."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     @abc.abstractmethod
     def handle_request(self, time: float) -> List[BusyInterval]:
@@ -79,9 +99,19 @@ class ContinuousSimulation:
         Total simulated time in seconds (including warmup).
     warmup:
         Initial seconds excluded from the measurement window.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; the driver
+        counts requests and server streams, times the run, and binds the
+        registry to the protocol.
     """
 
-    def __init__(self, protocol: ReactiveModel, horizon: float, warmup: float = 0.0):
+    def __init__(
+        self,
+        protocol: ReactiveModel,
+        horizon: float,
+        warmup: float = 0.0,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
         if horizon <= warmup:
             raise ConfigurationError(
                 f"horizon ({horizon}) must exceed warmup ({warmup})"
@@ -91,22 +121,38 @@ class ContinuousSimulation:
         self.protocol = protocol
         self.horizon = float(horizon)
         self.warmup = float(warmup)
+        self.metrics = metrics
 
     def run(self, arrival_times: Sequence[float]) -> ReactiveResult:
         """Simulate over sorted ``arrival_times`` and measure concurrency."""
+        metrics = self.metrics
         recorder = TimeWeightedRecorder(self.warmup, self.horizon)
         waits: List[float] = []
         n_measured = 0
+        n_requests = 0
+        n_streams = 0
+        if metrics is not None:
+            self.protocol.bind_metrics(metrics)
+            run_span = metrics.timer("sim.run_seconds").time()
+            run_span.__enter__()
         for t in arrival_times:
             if t >= self.horizon:
                 break
+            n_requests += 1
             for start, end in self.protocol.handle_request(t):
                 recorder.add_interval(start, end)
+                n_streams += 1
             if t >= self.warmup:
                 n_measured += 1
                 waits.append(self.protocol.startup_delay(t))
         for start, end in self.protocol.finish(self.horizon):
             recorder.add_interval(start, end)
+            n_streams += 1
+        if metrics is not None:
+            run_span.__exit__(None, None, None)
+            metrics.counter("sim.requests").inc(n_requests)
+            metrics.counter("sim.streams_started").inc(n_streams)
+            metrics.gauge("sim.horizon_seconds").set(self.horizon)
         return ReactiveResult(
             window_length=recorder.window_length,
             mean_streams=recorder.mean_concurrency(),

@@ -10,10 +10,13 @@ simpler and faster for slot-synchronous work.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from ..errors import SimulationError
 from .events import Event
+
+if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
 
 
 class EventEngine:
@@ -36,10 +39,16 @@ class EventEngine:
     10.0
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, metrics: Optional["MetricsRegistry"] = None):
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._fired = 0
+        self._scheduled = 0
+        #: Optional metrics registry; event/schedule totals are published to
+        #: it as gauges by :meth:`publish_metrics` (called automatically at
+        #: the end of :meth:`run_until` / :meth:`run_to_exhaustion`, so the
+        #: per-event hot path stays metric-free).
+        self.metrics = metrics
 
     @property
     def now(self) -> float:
@@ -64,6 +73,7 @@ class EventEngine:
             )
         event = Event(time, action, label)
         heapq.heappush(self._heap, event)
+        self._scheduled += 1
         return event
 
     def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
@@ -104,10 +114,25 @@ class EventEngine:
                 break
             self.step()
         self._now = horizon
+        self.publish_metrics()
 
     def run_to_exhaustion(self, max_events: int = 10_000_000) -> None:
         """Fire events until the queue drains (bounded by ``max_events``)."""
         for _ in range(max_events):
             if not self.step():
+                self.publish_metrics()
                 return
         raise SimulationError(f"engine did not drain within {max_events} events")
+
+    def publish_metrics(self) -> None:
+        """Publish event totals to the bound registry (no-op without one).
+
+        Gauges rather than counters so repeated ``run_until`` calls on one
+        engine are idempotent: the registry always holds the lifetime
+        totals, not a sum of partial publishes.
+        """
+        if self.metrics is None:
+            return
+        self.metrics.gauge("engine.events_fired").set(self._fired)
+        self.metrics.gauge("engine.events_scheduled").set(self._scheduled)
+        self.metrics.gauge("engine.now").set(self._now)

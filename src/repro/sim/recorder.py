@@ -11,10 +11,13 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from .stats import OnlineStats
+
+if TYPE_CHECKING:
+    from ..obs.registry import MetricsRegistry
 
 
 class SlotLoadRecorder:
@@ -28,15 +31,32 @@ class SlotLoadRecorder:
         When true, the post-warmup loads are kept as a list (used by tests
         and by benches that print full series); otherwise only the online
         summary is retained, keeping memory flat for very long runs.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When given,
+        the recorder's summary *is* the registry's ``metric`` histogram —
+        one shared :class:`~repro.sim.stats.OnlineStats`, so the measured
+        loads appear in exported metrics without a second accumulation
+        pass.
+    metric:
+        Histogram name used with ``registry``.
     """
 
-    def __init__(self, warmup_slots: int = 0, keep_series: bool = False):
+    def __init__(
+        self,
+        warmup_slots: int = 0,
+        keep_series: bool = False,
+        registry: Optional["MetricsRegistry"] = None,
+        metric: str = "sim.slot_load",
+    ):
         if warmup_slots < 0:
             raise SimulationError(f"warmup_slots must be >= 0, got {warmup_slots}")
         self.warmup_slots = warmup_slots
         self.keep_series = keep_series
         self.series: List[int] = []
-        self._stats = OnlineStats()
+        if registry is not None and registry.enabled:
+            self._stats = registry.histogram(metric).stats
+        else:
+            self._stats = OnlineStats()
 
     def record(self, slot: int, load: int) -> None:
         """Record that ``load`` segment instances were transmitted in ``slot``."""

@@ -32,7 +32,8 @@ class RandomStreams:
     >>> video = streams.get("video")
     >>> arrivals is streams.get("arrivals")
     True
-    >>> float(RandomStreams(42).get("arrivals").random()) == float(arrivals.random()) if False else True
+    >>> draw = float(RandomStreams(42).get("arrivals").random())
+    >>> draw == float(RandomStreams(42).get("arrivals").random())
     True
     """
 

@@ -18,11 +18,15 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError, SimulationError
 from .recorder import SlotLoadRecorder
 from .stats import OnlineStats
+
+if TYPE_CHECKING:  # imported lazily to keep the sim layer import-light
+    from ..obs.registry import MetricsRegistry
+    from ..obs.trace import TraceSink
 
 
 class SlottedModel(abc.ABC):
@@ -30,7 +34,26 @@ class SlottedModel(abc.ABC):
 
     Implementations live in :mod:`repro.core` (DHB) and
     :mod:`repro.protocols` (FB, NPB, SB, UD, dynamic NPB).
+
+    Observability: protocols may emit admission/stream metrics through the
+    shared hook — :meth:`bind_metrics` stores a registry on the instance,
+    and :meth:`emit_metric` increments a counter when one is bound (and
+    costs one attribute read otherwise).  The driver additionally asks
+    :meth:`slot_instances` for the segment numbers behind a slot's load
+    when a trace sink is attached.
     """
+
+    #: Bound metrics registry, or ``None`` (class default: observability off).
+    metrics: Optional["MetricsRegistry"] = None
+
+    def bind_metrics(self, registry: Optional["MetricsRegistry"]) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        self.metrics = registry
+
+    def emit_metric(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` on the bound registry, if any."""
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     @abc.abstractmethod
     def handle_request(self, slot: int) -> None:
@@ -63,6 +86,15 @@ class SlottedModel(abc.ABC):
         bytes* per slot alongside occupied streams.
         """
         return float(self.slot_load(slot))
+
+    def slot_instances(self, slot: int) -> List[int]:
+        """Segment numbers scheduled in ``slot`` (for per-slot traces).
+
+        Optional; protocols that keep a full schedule override this.  The
+        default (no per-instance bookkeeping) reports an empty list, which
+        trace consumers must treat as "unknown", not "idle".
+        """
+        return []
 
 
 @dataclass
@@ -112,6 +144,18 @@ class SlottedSimulation:
         Initial slots excluded from bandwidth statistics.
     keep_series:
         Keep the per-slot load series on the result (memory grows linearly).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The driver
+        feeds the post-warmup load summary into the ``sim.slot_load``
+        histogram, counts slots/requests, times the run, and binds the
+        registry to the protocol so admissions emit their own metrics.
+        ``None`` (the default) keeps the hot loop free of metric calls.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceSink` receiving one record
+        per simulated slot (see :mod:`repro.obs.trace` for the schema).
+    trace_context:
+        Extra fields (protocol label, rate, ...) copied into every trace
+        record.
     """
 
     def __init__(
@@ -121,6 +165,9 @@ class SlottedSimulation:
         horizon_slots: int,
         warmup_slots: int = 0,
         keep_series: bool = False,
+        metrics: Optional["MetricsRegistry"] = None,
+        trace: Optional["TraceSink"] = None,
+        trace_context: Optional[Dict] = None,
     ):
         if slot_duration <= 0:
             raise ConfigurationError(f"slot_duration must be > 0, got {slot_duration}")
@@ -134,6 +181,9 @@ class SlottedSimulation:
         self.horizon_slots = int(horizon_slots)
         self.warmup_slots = int(warmup_slots)
         self.keep_series = keep_series
+        self.metrics = metrics
+        self.trace = trace
+        self.trace_context = dict(trace_context or {})
 
     def run(self, arrival_times: Sequence[float]) -> SlottedResult:
         """Simulate the protocol over ``arrival_times`` (seconds, sorted).
@@ -144,23 +194,34 @@ class SlottedSimulation:
         numpy trace — and never copies it.
         """
         d = self.slot_duration
-        recorder = SlotLoadRecorder(self.warmup_slots, keep_series=self.keep_series)
+        metrics = self.metrics
+        trace = self.trace
+        recorder = SlotLoadRecorder(
+            self.warmup_slots, keep_series=self.keep_series, registry=metrics
+        )
         weight_stats = OnlineStats()
         waits: List[float] = []
         previous = -math.inf
         arrival_index = 0
+        ignored = 0
         arrivals = arrival_times
         n_arrivals = len(arrivals)
+        if metrics is not None:
+            self.protocol.bind_metrics(metrics)
+            run_span = metrics.timer("sim.run_seconds").time()
+            run_span.__enter__()
 
         for slot in range(self.horizon_slots):
             # All requests from slots < slot have been processed, so the load
-            # of `slot` is final: no future request may touch it.
+            # of `slot` is final: no future request may touch it (protocols
+            # only schedule into slots >= slot + 1).
             recorder.record(slot, self.protocol.slot_load(slot))
             if slot >= self.warmup_slots:
                 weight_stats.add(self.protocol.slot_weight(slot))
-            self.protocol.release_before(slot)
 
             slot_end = (slot + 1) * d
+            first_index = arrival_index
+            first_ignored = ignored
             while arrival_index < n_arrivals and arrivals[arrival_index] < slot_end:
                 t = arrivals[arrival_index]
                 if t < previous:
@@ -171,9 +232,33 @@ class SlottedSimulation:
                     if slot >= self.warmup_slots:
                         # Service begins at the next slot boundary.
                         waits.append(slot_end - t)
+                else:
+                    ignored += 1
                 arrival_index += 1
 
+            if trace is not None:
+                record = dict(self.trace_context)
+                record.update(
+                    kind="slot",
+                    slot=slot,
+                    streams=self.protocol.slot_load(slot),
+                    weight=self.protocol.slot_weight(slot),
+                    instances=self.protocol.slot_instances(slot),
+                    arrivals=arrival_index - first_index - (ignored - first_ignored),
+                    measured=slot >= self.warmup_slots,
+                )
+                trace.emit(record)
+            # Released only now so the trace could still read the slot; the
+            # numbers are unchanged (releases only drop slots < slot).
+            self.protocol.release_before(slot)
+
         measured_requests = len(waits)
+        if metrics is not None:
+            run_span.__exit__(None, None, None)
+            metrics.counter("sim.slots").inc(self.horizon_slots)
+            metrics.counter("sim.requests").inc(arrival_index - ignored)
+            metrics.counter("sim.arrivals_ignored").inc(ignored)
+            metrics.gauge("sim.warmup_slots").set(self.warmup_slots)
         return SlottedResult(
             slot_duration=d,
             slots_measured=recorder.slots_measured,

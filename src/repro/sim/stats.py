@@ -14,7 +14,7 @@ Three tools live here:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -23,6 +23,11 @@ class OnlineStats:
     """Running count/mean/variance/min/max over scalar observations.
 
     Uses Welford's algorithm, so it is numerically stable for long runs.
+    Two summaries accumulated independently (e.g. in sweep worker
+    processes) combine losslessly via :meth:`merge`, and the state
+    round-trips through plain dicts (:meth:`to_dict` / :meth:`from_dict`)
+    so the observability registry can ship summaries across process
+    boundaries as JSON.
 
     >>> s = OnlineStats()
     >>> for x in [1.0, 2.0, 3.0]:
@@ -76,6 +81,63 @@ class OnlineStats:
     def maximum(self) -> float:
         """Largest observation (-inf when empty)."""
         return self._max
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold ``other`` into this summary (parallel Welford combine).
+
+        Equivalent to having observed both streams in one pass (Chan et
+        al.'s pairwise update), so per-worker summaries merged by the
+        sweep executor match the serial run's numbers.
+
+        >>> a, b, ref = OnlineStats(), OnlineStats(), OnlineStats()
+        >>> a.add_many([1.0, 2.0]); b.add_many([3.0, 4.0, 5.0])
+        >>> ref.add_many([1.0, 2.0, 3.0, 4.0, 5.0])
+        >>> a.merge(b)
+        >>> (a.count, a.mean, a.maximum) == (ref.count, ref.mean, ref.maximum)
+        True
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe snapshot of the summary state.
+
+        ``min``/``max`` are ``None`` while empty (infinities are not valid
+        JSON).
+        """
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": None if self.count == 0 else self._min,
+            "max": None if self.count == 0 else self._max,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Optional[float]]) -> "OnlineStats":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        stats = cls()
+        stats.count = int(state["count"])
+        stats._mean = float(state["mean"])
+        stats._m2 = float(state["m2"])
+        if stats.count:
+            stats._min = float(state["min"])
+            stats._max = float(state["max"])
+        return stats
 
 
 class TimeWeightedStats:

@@ -9,7 +9,6 @@ request traces and period vectors with hypothesis:
 4. bandwidth accounting consistency.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

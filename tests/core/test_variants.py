@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.core.variants import dhb_a, dhb_b, dhb_c, dhb_d, make_all_variants
 from repro.units import KILOBYTE
 from repro.video.matrix import matrix_like_video
-from repro.video.vbr import VBRVideo
 
 MATRIX = matrix_like_video()
 WAIT = 60.0

@@ -1,7 +1,6 @@
 """End-to-end integration: full pipelines, multi-video scenarios, VBR flow."""
 
 import numpy as np
-import pytest
 
 from repro.core.bandwidth_limited import BandwidthLimitedDHB
 from repro.core.dhb import DHBProtocol

@@ -5,7 +5,6 @@ the paper reports.  The benchmarks rerun the same experiments at full
 paper scale; these horizons are chosen so the orderings are already stable.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.theory import dhb_saturation_bandwidth

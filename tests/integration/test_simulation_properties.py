@@ -1,6 +1,5 @@
 """System-level property tests: driver + protocol, random workloads."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,164 @@
+"""Tests for repro.obs.registry."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.slots")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("sim.slots") is counter
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("sim.warmup_slots")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7.0
+        assert gauge.updates == 2
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("sim.slot_load")
+        for value in (2.0, 4.0, 6.0):
+            histogram.observe(value)
+        assert histogram.stats.count == 3
+        assert histogram.stats.mean == pytest.approx(4.0)
+        assert histogram.stats.minimum == 2.0
+        assert histogram.stats.maximum == 6.0
+
+    def test_timer_span_observes_elapsed(self):
+        timer = MetricsRegistry().timer("sim.run_seconds")
+        with timer.time():
+            pass
+        assert timer.stats.count == 1
+        assert timer.stats.minimum >= 0.0
+
+    def test_instruments_lists_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1.0)
+        with registry.timer("d").time():
+            pass
+        assert sorted(name for name, _ in registry.instruments()) == list("abcd")
+
+
+class TestMergeAndSerialization:
+    def test_merge_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.counter("only_b").inc(1)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.counter("only_b").value == 1
+
+    def test_merge_gauges_last_writer_wins_only_when_set(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g")  # touched but never set: must not clobber
+        a.merge(b)
+        assert a.gauge("g").value == 1.0
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        assert a.gauge("g").value == 9.0
+
+    def test_merge_histograms_lossless(self):
+        values = [1.0, 2.0, 3.0, 10.0, 20.0]
+        whole = MetricsRegistry()
+        for value in values:
+            whole.histogram("h").observe(value)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for value in values[:2]:
+            left.histogram("h").observe(value)
+        for value in values[2:]:
+            right.histogram("h").observe(value)
+        left.merge(right)
+        merged, direct = left.histogram("h").stats, whole.histogram("h").stats
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.variance == pytest.approx(direct.variance)
+        assert (merged.minimum, merged.maximum) == (direct.minimum, direct.maximum)
+
+    def test_dict_round_trip_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        with registry.timer("t").time():
+            pass
+        state = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry.from_dict(state)
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_merge_dict_equals_merge(self):
+        a1, a2, b = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(2)
+        b.histogram("h").observe(4.0)
+        a1.merge(b)
+        a2.merge_dict(b.to_dict())
+        assert a1.to_dict() == a2.to_dict()
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+        assert NULL_REGISTRY.timer("a") is NULL_REGISTRY.timer("b")
+        assert NULL_REGISTRY.timer("a").time() is NULL_REGISTRY.timer("b").time()
+
+    def test_everything_is_a_no_op(self):
+        registry = NullMetricsRegistry()
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(5.0)
+        registry.histogram("h").observe(1.0)
+        with registry.timer("t").time():
+            pass
+        assert registry.counter("c").value == 0
+        assert registry.gauge("g").value is None
+        assert registry.histogram("h").stats.count == 0
+        assert registry.timer("t").stats.count == 0
+        assert registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "timers": {},
+        }
+
+    def test_disabled_path_allocates_nothing_per_event(self):
+        import tracemalloc
+
+        registry = NULL_REGISTRY
+        counter = registry.counter("warm")  # warm the accessor path
+        counter.inc()
+        tracemalloc.start()
+        for _ in range(1000):
+            registry.counter("hot").inc()
+            registry.histogram("hot").observe(1.0)
+            with registry.timer("hot").time():
+                pass
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Nothing should survive the loop: no instruments, no spans, no stats.
+        assert current < 4096

@@ -1,0 +1,117 @@
+"""Tests for repro.obs.trace (sinks, Observation, per-slot records)."""
+
+import io
+import json
+
+from repro.core.dhb import DHBProtocol
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import JsonlTraceSink, MemoryTraceSink, Observation
+from repro.sim.slotted import SlottedSimulation
+
+
+class TestMemoryTraceSink:
+    def test_buffers_copies(self):
+        sink = MemoryTraceSink()
+        record = {"kind": "slot", "slot": 0}
+        sink.emit(record)
+        record["slot"] = 99  # the sink must have copied, not aliased
+        assert sink.records == [{"kind": "slot", "slot": 0}]
+
+
+class TestJsonlTraceSink:
+    def test_writes_one_compact_line_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.emit({"kind": "slot", "slot": 0, "streams": 2})
+            sink.emit({"kind": "slot", "slot": 1, "streams": 3})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1]) == {"kind": "slot", "slot": 1, "streams": 3}
+        assert " " not in lines[0]  # compact separators
+        assert sink.records_written == 2
+
+    def test_accepts_file_like_and_leaves_it_open(self):
+        buffer = io.StringIO()
+        sink = JsonlTraceSink(buffer)
+        sink.emit({"slot": 0})
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue()) == {"slot": 0}
+
+
+class TestObservation:
+    def test_trace_defaults_to_none(self):
+        observation = Observation(metrics=MetricsRegistry())
+        assert observation.trace is None
+
+
+class TestSlotRecordsAgainstScheduleGroundTruth:
+    """The driver's trace must mirror the protocol's own slot schedule."""
+
+    ARRIVALS = [5.0, 12.0, 47.0, 61.0, 61.5]
+    SLOT_DURATION = 10.0
+    HORIZON = 12
+    WARMUP = 2
+
+    def _traced_run(self):
+        protocol = DHBProtocol(n_segments=12)
+        sink = MemoryTraceSink()
+        sim = SlottedSimulation(
+            protocol,
+            slot_duration=self.SLOT_DURATION,
+            horizon_slots=self.HORIZON,
+            warmup_slots=self.WARMUP,
+            trace=sink,
+            trace_context={"protocol": "dhb"},
+        )
+        sim.run(self.ARRIVALS)
+        return sink.records
+
+    def _ground_truth(self):
+        """Replay the identical protocol by hand, reading its SlotSchedule."""
+        protocol = DHBProtocol(n_segments=12)
+        expected = []
+        index = 0
+        for slot in range(self.HORIZON):
+            # Mirror the driver: the slot is read *after* delivering its own
+            # arrivals (which only ever schedule into slots >= slot + 1).
+            streams = protocol.slot_load(slot)
+            arrivals = 0
+            slot_end = (slot + 1) * self.SLOT_DURATION
+            while index < len(self.ARRIVALS) and self.ARRIVALS[index] < slot_end:
+                protocol.handle_request(slot)
+                arrivals += 1
+                index += 1
+            assert protocol.slot_load(slot) == streams  # invariant the trace relies on
+            expected.append(
+                {
+                    "protocol": "dhb",
+                    "kind": "slot",
+                    "slot": slot,
+                    "streams": streams,
+                    "weight": protocol.slot_weight(slot),
+                    "instances": protocol.schedule.segments_in(slot),
+                    "arrivals": arrivals,
+                    "measured": slot >= self.WARMUP,
+                }
+            )
+        return expected
+
+    def test_one_record_per_slot_matching_schedule(self):
+        records = self._traced_run()
+        expected = self._ground_truth()
+        assert len(records) == self.HORIZON
+        assert records == expected
+
+    def test_streams_count_the_scheduled_instances(self):
+        for record in self._traced_run():
+            assert record["streams"] == len(record["instances"])
+
+    def test_arrivals_sum_to_admitted_requests(self):
+        records = self._traced_run()
+        assert sum(record["arrivals"] for record in records) == len(self.ARRIVALS)
+
+    def test_warmup_slots_marked_unmeasured(self):
+        records = self._traced_run()
+        assert [r["measured"] for r in records[: self.WARMUP]] == [False] * self.WARMUP
+        assert all(r["measured"] for r in records[self.WARMUP :])

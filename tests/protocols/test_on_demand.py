@@ -1,6 +1,5 @@
 """Tests for repro.protocols.on_demand — shared UD/dynamic-NPB machinery."""
 
-import pytest
 
 from repro.protocols.base import StaticMap
 from repro.protocols.on_demand import OnDemandMapProtocol

@@ -6,7 +6,7 @@ import pytest
 from repro.core.dhb import DHBProtocol
 from repro.errors import ConfigurationError
 from repro.protocols.npb import NewPagodaBroadcasting
-from repro.server.provisioning import ProvisioningResult, provision_catalog
+from repro.server.provisioning import provision_catalog
 from repro.units import TWO_HOURS
 from repro.workload.popularity import ZipfCatalog
 

@@ -1,0 +1,113 @@
+"""Tests for benchmarks/check_regression.py (the CI bench gate)."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT))
+
+from benchmarks.check_regression import (  # noqa: E402
+    calibration_ratio,
+    compare,
+    main,
+)
+
+
+def _report(seconds_by_name, calibration=0.05, verified=1):
+    benches = {
+        name: {"seconds": seconds, "detail": {}}
+        for name, seconds in seconds_by_name.items()
+    }
+    if "fig7_quick_parallel" in benches:
+        benches["fig7_quick_parallel"]["detail"] = {"points": 12, "verified": verified}
+    return {
+        "schema": 1,
+        "calibration_seconds": calibration,
+        "benches": benches,
+    }
+
+
+class TestCalibrationRatio:
+    def test_ratio_of_spin_loops(self):
+        fresh = _report({}, calibration=0.10)
+        baseline = _report({}, calibration=0.05)
+        assert calibration_ratio(fresh, baseline) == pytest.approx(2.0)
+
+    def test_missing_calibration_means_no_scaling(self):
+        fresh = _report({})
+        baseline = _report({})
+        del baseline["calibration_seconds"]
+        assert calibration_ratio(fresh, baseline) == 1.0
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = _report({"fig7_quick_parallel": 0.5, "micro": 0.03})
+        _lines, failures = compare(report, report)
+        assert failures == []
+
+    def test_large_regression_fails(self):
+        baseline = _report({"fig7_quick_parallel": 0.5, "micro": 0.2})
+        fresh = _report({"fig7_quick_parallel": 0.5, "micro": 0.9})
+        _lines, failures = compare(fresh, baseline, threshold=2.0)
+        assert len(failures) == 1
+        assert "micro" in failures[0]
+
+    def test_slow_machine_does_not_fail_the_gate(self):
+        baseline = _report({"fig7_quick_parallel": 0.5, "micro": 0.2}, calibration=0.05)
+        # Everything (benches and spin loop) is 3x slower: same machine-relative
+        # speed, so the calibration scaling must absorb it.
+        fresh = _report(
+            {"fig7_quick_parallel": 1.5, "micro": 0.6}, calibration=0.15
+        )
+        _lines, failures = compare(fresh, baseline, threshold=2.0)
+        assert failures == []
+
+    def test_noise_floor_forgives_tiny_benches(self):
+        baseline = _report({"fig7_quick_parallel": 0.5, "tiny": 0.0002})
+        fresh = _report({"fig7_quick_parallel": 0.5, "tiny": 0.0009})  # 4.5x, but microseconds
+        _lines, failures = compare(fresh, baseline, threshold=2.0)
+        assert failures == []
+
+    def test_missing_bench_fails(self):
+        baseline = _report({"fig7_quick_parallel": 0.5, "gone": 0.1})
+        fresh = _report({"fig7_quick_parallel": 0.5})
+        _lines, failures = compare(fresh, baseline)
+        assert any("gone" in failure for failure in failures)
+
+    def test_unverified_parallel_equality_fails(self):
+        baseline = _report({"fig7_quick_parallel": 0.5})
+        fresh = _report({"fig7_quick_parallel": 0.5}, verified=0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("equality" in failure for failure in failures)
+
+
+class TestMain:
+    def _write(self, path, report):
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        baseline = self._write(
+            tmp_path / "base.json", _report({"fig7_quick_parallel": 0.5})
+        )
+        good = self._write(tmp_path / "good.json", _report({"fig7_quick_parallel": 0.6}))
+        bad = self._write(tmp_path / "bad.json", _report({"fig7_quick_parallel": 5.0}))
+        assert main(["--baseline", baseline, "--fresh", good]) == 0
+        assert main(["--baseline", baseline, "--fresh", bad]) == 1
+        capsys.readouterr()
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        fresh = self._write(tmp_path / "fresh.json", _report({}))
+        assert main(["--baseline", missing, "--fresh", fresh]) == 2
+        capsys.readouterr()
+
+    def test_committed_baseline_is_current_schema(self):
+        baseline = json.loads((_REPO_ROOT / "BENCH_sweep.json").read_text())
+        assert baseline["calibration_seconds"] > 0.0
+        assert "fig7_quick_parallel" in baseline["benches"]
+        assert baseline["benches"]["fig7_quick_parallel"]["detail"]["verified"] == 1

@@ -1,5 +1,7 @@
 """Tests for repro.cli."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,56 @@ def test_catalog_quick(capsys):
     out = capsys.readouterr().out
     assert "totals:" in out
     assert "Zipf" in out
+
+
+def test_metrics_and_trace_out(tmp_path, capsys):
+    metrics_path = tmp_path / "run.json"
+    trace_path = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "fig7",
+                "--quick",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    assert "Figure 7" in capsys.readouterr().out
+
+    document = json.loads(metrics_path.read_text())
+    assert document["schema"] == 1
+    manifest = document["manifest"]
+    assert manifest["experiment"] == "fig7"
+    assert "DHB Protocol" in manifest["protocols"]
+    assert manifest["seed"] == 2001
+    assert manifest["duration_seconds"] > 0.0
+    counters = document["metrics"]["counters"]
+    assert counters["measure.points"] == 12  # 4 protocols x 3 quick rates
+    assert counters["sim.slots"] > 0
+
+    lines = trace_path.read_text().splitlines()
+    assert document["trace"] == {"path": str(trace_path), "records": len(lines)}
+    records = [json.loads(line) for line in lines]
+    slot_records = [r for r in records if r["kind"] == "slot"]
+    assert slot_records  # the sweep simulated slotted protocols
+    first = slot_records[0]
+    assert {"slot", "streams", "instances", "arrivals", "measured"} <= set(first)
+    assert {r["protocol"] for r in slot_records} >= {"DHB Protocol", "UD Protocol"}
+
+
+def test_metrics_out_alone(tmp_path):
+    metrics_path = tmp_path / "run.json"
+    assert main(["fig8", "--quick", "--metrics-out", str(metrics_path)]) == 0
+    document = json.loads(metrics_path.read_text())
+    assert document["manifest"]["experiment"] == "fig8"
+    assert document["trace"] is None
+
+
+def test_observability_flags_rejected_for_table_commands(capsys):
+    with pytest.raises(SystemExit):
+        main(["variants", "--metrics-out", "x.json"])
+    assert "--metrics-out" in capsys.readouterr().err

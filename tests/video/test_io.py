@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import VideoModelError
 from repro.video.io import load_trace, save_trace
-from repro.video.vbr import VBRVideo
 
 
 def test_roundtrip(tmp_path, tiny_vbr):

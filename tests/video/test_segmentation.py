@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import VideoModelError
 from repro.video.model import CBRVideo
-from repro.video.segmentation import SegmentedVideo, segment_video, segments_for_wait
+from repro.video.segmentation import segment_video, segments_for_wait
 from repro.video.vbr import VBRVideo
 
 
