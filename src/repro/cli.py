@@ -96,9 +96,6 @@ def _observed(
         protocols=protocols,
         params=asdict(config),
         seed=config.seed,
-        # Resolve the git SHA against the package's own checkout, not the
-        # caller's cwd, so manifests carry provenance wherever the CLI runs.
-        repo_root=pathlib.Path(__file__).resolve().parent,
     )
     try:
         with recorder:

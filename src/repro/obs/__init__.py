@@ -20,7 +20,13 @@ guard each emission, so disabled observability costs one ``is not None``
 check per call site and allocates nothing per event.
 """
 
-from .manifest import ManifestRecorder, RunManifest, current_git_sha, peak_rss_bytes
+from .manifest import (
+    ManifestRecorder,
+    RunManifest,
+    current_git_sha,
+    peak_rss_bytes,
+    source_repo_root,
+)
 from .registry import (
     NULL_REGISTRY,
     Counter,
@@ -48,4 +54,5 @@ __all__ = [
     "TraceSink",
     "current_git_sha",
     "peak_rss_bytes",
+    "source_repo_root",
 ]

@@ -50,6 +50,32 @@ def current_git_sha(cwd: Union[str, pathlib.Path, None] = None) -> Optional[str]
     return sha if proc.returncode == 0 and sha else None
 
 
+def source_repo_root(
+    source: Union[str, pathlib.Path, None] = None
+) -> Optional[pathlib.Path]:
+    """The git work tree that actually *tracks* ``source``, or ``None``.
+
+    ``source`` defaults to this module's file, i.e. the installed package
+    itself.  A pip-installed copy can sit inside an unrelated repository
+    (site-packages under someone's dotfiles checkout, say), where a bare
+    ``git rev-parse HEAD`` would stamp manifests with the SHA of a repo
+    that never produced this code.  The enclosing work tree is therefore
+    only trusted when ``git ls-files`` confirms it tracks the source file;
+    otherwise callers should record no SHA at all.
+    """
+    path = pathlib.Path(source if source is not None else __file__).resolve()
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(path.parent), "ls-files", "--error-unmatch", path.name],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return path.parent if proc.returncode == 0 else None
+
+
 def peak_rss_bytes() -> Optional[int]:
     """Peak resident set size of this process in bytes, if measurable.
 
@@ -134,6 +160,12 @@ class ManifestRecorder:
     On entry it stamps the start time; on exit it records the duration,
     peak RSS, git SHA, and interpreter/numpy versions.  The manifest is
     available (and complete) as :attr:`manifest` after the ``with`` block.
+
+    ``repo_root`` pins the directory the git SHA is resolved in; when
+    omitted, the SHA comes from the checkout that tracks the package
+    source (:func:`source_repo_root`), and is ``None`` when no repository
+    does — never from whatever unrelated repo happens to enclose an
+    installed copy or the caller's working directory.
     """
 
     def __init__(
@@ -161,7 +193,8 @@ class ManifestRecorder:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.manifest.duration_seconds = time.perf_counter() - self._start
         self.manifest.peak_rss_bytes = peak_rss_bytes()
-        self.manifest.git_sha = current_git_sha(self._repo_root)
+        root = self._repo_root if self._repo_root is not None else source_repo_root()
+        self.manifest.git_sha = current_git_sha(root) if root is not None else None
         self.manifest.python_version = platform.python_version()
         self.manifest.platform = platform.platform()
         try:

@@ -32,11 +32,13 @@ class SlotLoadRecorder:
         and by benches that print full series); otherwise only the online
         summary is retained, keeping memory flat for very long runs.
     registry:
-        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When given,
-        the recorder's summary *is* the registry's ``metric`` histogram —
-        one shared :class:`~repro.sim.stats.OnlineStats`, so the measured
-        loads appear in exported metrics without a second accumulation
-        pass.
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  The
+        recorder always summarises into its own private
+        :class:`~repro.sim.stats.OnlineStats` — the registry's ``metric``
+        histogram is cumulative across every run that shares the registry,
+        so aliasing it would corrupt the per-run statistics — and
+        :meth:`finish` folds that summary into the histogram once the run
+        is over.
     metric:
         Histogram name used with ``registry``.
     """
@@ -53,10 +55,11 @@ class SlotLoadRecorder:
         self.warmup_slots = warmup_slots
         self.keep_series = keep_series
         self.series: List[int] = []
+        self._stats = OnlineStats()
         if registry is not None and registry.enabled:
-            self._stats = registry.histogram(metric).stats
+            self._registry_stats = registry.histogram(metric).stats
         else:
-            self._stats = OnlineStats()
+            self._registry_stats = None
 
     def record(self, slot: int, load: int) -> None:
         """Record that ``load`` segment instances were transmitted in ``slot``."""
@@ -67,6 +70,12 @@ class SlotLoadRecorder:
         self._stats.add(float(load))
         if self.keep_series:
             self.series.append(load)
+
+    def finish(self) -> None:
+        """Fold this run's summary into the registry histogram (idempotent)."""
+        if self._registry_stats is not None:
+            self._registry_stats.merge(self._stats)
+            self._registry_stats = None
 
     @property
     def slots_measured(self) -> int:

@@ -252,6 +252,7 @@ class SlottedSimulation:
             # numbers are unchanged (releases only drop slots < slot).
             self.protocol.release_before(slot)
 
+        recorder.finish()
         measured_requests = len(waits)
         if metrics is not None:
             run_span.__exit__(None, None, None)

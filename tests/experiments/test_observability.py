@@ -8,6 +8,7 @@ worker processes (timers excepted — wall clock is not deterministic).
 import pytest
 
 from repro.experiments.config import SweepConfig
+from repro.experiments.fig9 import run_fig9
 from repro.experiments.parallel import ParallelSweepExecutor, SweepPoint
 from repro.experiments.runner import observed_sweep
 from repro.obs.registry import MetricsRegistry
@@ -61,6 +62,22 @@ class TestRegistryMergeAcrossWorkers:
         plain = executor.sweep(["dhb"], QUICK)
         observed, _ = _observed_series(n_jobs=1)
         assert plain[0].points == observed[0].points
+
+    def test_fig9_shared_registry_does_not_change_measurements(self):
+        # Unlike the executor path (fresh registry per grid cell), fig9
+        # threads ONE registry through every (protocol, rate) measurement;
+        # a recorder that aliased the cumulative sim.slot_load histogram
+        # would corrupt every point after the first.
+        config = SweepConfig().quick(
+            rates_per_hour=(5.0, 50.0), base_hours=2.0, min_requests=10
+        )
+        plain = run_fig9(config)
+        observed = run_fig9(
+            config, observation=Observation(metrics=MetricsRegistry())
+        )
+        for a, b in zip(plain, observed):
+            assert a.protocol == b.protocol
+            assert a.points == b.points
 
     def test_measure_points_merges_per_cell_registries(self):
         registry = MetricsRegistry()

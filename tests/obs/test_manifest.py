@@ -9,6 +9,7 @@ from repro.obs.manifest import (
     RunManifest,
     current_git_sha,
     peak_rss_bytes,
+    source_repo_root,
 )
 
 
@@ -71,3 +72,33 @@ class TestProvenanceHelpers:
     def test_peak_rss_positive_on_posix(self):
         peak = peak_rss_bytes()
         assert peak is None or peak > 1024 * 1024  # at least a megabyte
+
+    def test_source_repo_root_is_the_tracking_checkout(self):
+        # The test suite runs from the project checkout, which tracks the
+        # package source, so the root resolves and carries HEAD.
+        root = source_repo_root()
+        assert root is not None
+        assert current_git_sha(root) == current_git_sha()
+
+    def test_source_repo_root_rejects_untracked_file(self, tmp_path):
+        untracked = tmp_path / "module.py"
+        untracked.write_text("")
+        assert source_repo_root(untracked) is None
+
+    def test_recorder_sha_comes_from_the_source_checkout(self):
+        with ManifestRecorder("sweep") as recorder:
+            pass
+        assert recorder.manifest.git_sha == current_git_sha(source_repo_root())
+
+    def test_recorder_records_no_sha_for_untracked_source(self, tmp_path, monkeypatch):
+        # Simulate a pip-installed copy inside an unrelated enclosing repo:
+        # the source is not tracked, so provenance must be None, not the
+        # SHA of whatever repository surrounds site-packages (or the cwd).
+        import repro.obs.manifest as manifest_module
+
+        monkeypatch.setattr(
+            manifest_module, "source_repo_root", lambda source=None: None
+        )
+        with ManifestRecorder("sweep") as recorder:
+            pass
+        assert recorder.manifest.git_sha is None

@@ -48,6 +48,41 @@ class TestSlotLoadRecorder:
         assert rec.mean_load == 0.0
         assert rec.max_load == 0.0
 
+    def test_shared_registry_keeps_per_run_stats_private(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = SlotLoadRecorder(registry=registry)
+        first.record(0, 10)
+        first.finish()
+        second = SlotLoadRecorder(registry=registry)
+        second.record(0, 2)
+        # The second run's summary must not see the first run's samples.
+        assert second.slots_measured == 1
+        assert second.mean_load == pytest.approx(2.0)
+        assert second.max_load == 2.0
+        second.finish()
+        # ...while the registry histogram pools both runs.
+        pooled = registry.histogram("sim.slot_load").stats
+        assert pooled.count == 2
+        assert pooled.mean == pytest.approx(6.0)
+
+    def test_finish_is_idempotent(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        rec = SlotLoadRecorder(registry=registry)
+        rec.record(0, 4)
+        rec.finish()
+        rec.finish()
+        assert registry.histogram("sim.slot_load").stats.count == 1
+
+    def test_finish_without_registry_is_a_noop(self):
+        rec = SlotLoadRecorder()
+        rec.record(0, 4)
+        rec.finish()
+        assert rec.mean_load == pytest.approx(4.0)
+
 
 class TestTimeWeightedRecorder:
     def test_single_interval(self):
