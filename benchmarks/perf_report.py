@@ -32,6 +32,7 @@ except ImportError:  # direct invocation from a source checkout
 
 import numpy as np
 
+from repro.cluster.scenario import preset_scenarios, run_scenario, run_scenarios
 from repro.core.dhb import DHBProtocol
 from repro.experiments.config import SweepConfig
 from repro.experiments.fig7 import FIG7_PROTOCOLS
@@ -87,12 +88,42 @@ def bench_fig7_quick_parallel() -> Dict[str, float]:
     return {"points": sum(len(s.points) for s in parallel), "verified": 1}
 
 
+def bench_cluster_quick() -> Dict[str, float]:
+    """The quick baseline cluster scenario (4 capped servers, 6 titles)."""
+    scenario = preset_scenarios(quick=True)[0]
+    result = run_scenario(scenario)
+    return {
+        "slots": scenario.horizon_slots,
+        "admitted": result.admitted,
+        "servers": scenario.topology.n_servers,
+    }
+
+
+def bench_cluster_parallel() -> Dict[str, float]:
+    """All three quick scenarios with n_jobs=2; asserts equality with serial."""
+    scenarios = preset_scenarios(quick=True)
+    serial = run_scenarios(scenarios, n_jobs=1)
+    parallel = run_scenarios(scenarios, n_jobs=2)
+    for a, b in zip(serial, parallel):
+        if a.to_dict() != b.to_dict():
+            raise AssertionError(
+                f"parallel cluster run diverged from serial for {a.scenario!r}"
+            )
+    return {
+        "scenarios": len(scenarios),
+        "admitted": sum(r.admitted for r in parallel),
+        "verified": 1,
+    }
+
+
 BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro_dhb_saturated": bench_dhb_saturated,
     "micro_dhb_cold": bench_dhb_cold,
     "micro_ud_saturated": bench_ud_saturated,
     "fig7_quick_serial": bench_fig7_quick_serial,
     "fig7_quick_parallel": bench_fig7_quick_parallel,
+    "cluster_quick": bench_cluster_quick,
+    "cluster_quick_parallel": bench_cluster_parallel,
 }
 
 

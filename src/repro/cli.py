@@ -8,15 +8,19 @@ Usage::
     repro-cli fig9 [--quick]   # compressed-video sweep (MB/s)
     repro-cli ablations [--quick]
     repro-cli variants         # the Section 4 DHB-a..d derivation table
+    repro-cli cluster [--quick] [--scenario baseline|skewed|crash|all]
 
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
-workload seed.
+workload seed.  ``cluster`` runs the multi-server scenarios of
+``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three,
+fanning across ``REPRO_SWEEP_JOBS`` workers when set).
 
-The sweep commands (fig7, fig8, fig9) also accept observability outputs
-(see ``docs/OBSERVABILITY.md`` for the schemas)::
+The measured commands (fig7, fig8, fig9, cluster) also accept
+observability outputs (see ``docs/OBSERVABILITY.md`` for the schemas)::
 
     repro-cli fig7 --quick --metrics-out run.json --trace-out trace.jsonl
+    repro-cli cluster --quick --scenario crash --metrics-out run.json
 
 ``--metrics-out`` writes a JSON document with the run manifest (protocols,
 parameters, seed, git SHA, versions, duration, peak RSS) and every metric
@@ -32,9 +36,10 @@ import json
 import pathlib
 import sys
 from dataclasses import asdict
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .analysis.tables import format_series_table, format_simple_table
+from .cluster.scenario import preset_scenarios, run_scenarios
 from .core.variants import make_all_variants
 from .experiments.ablations import (
     heuristic_ablation,
@@ -55,7 +60,10 @@ from .units import KILOBYTE
 from .video.matrix import matrix_like_video
 
 #: Commands that run measured sweeps and accept --metrics-out/--trace-out.
-OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9"})
+OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9", "cluster"})
+
+#: Cluster scenario names accepted by --scenario ("all" runs every preset).
+CLUSTER_SCENARIOS = ("baseline", "skewed", "crash")
 
 
 def _config(args: argparse.Namespace) -> SweepConfig:
@@ -77,14 +85,17 @@ def _observed(
     args: argparse.Namespace,
     experiment: str,
     protocols: Sequence[str],
-    config: SweepConfig,
+    params: Dict,
+    seed: int,
 ) -> Iterator[_ObservedRun]:
-    """Wire up --metrics-out/--trace-out for one sweep command.
+    """Wire up --metrics-out/--trace-out for one measured command.
 
-    Yields an :class:`_ObservedRun` whose ``observation`` is ``None`` when
-    neither flag was given (sweeps then run with observability off).  On
-    exit, the manifest is completed, the trace sink closed, and the
-    metrics document written.
+    ``params`` is the JSON-safe parameter record for the manifest (the
+    sweep commands pass their ``SweepConfig`` as a dict, the cluster
+    command its scenario selection).  Yields an :class:`_ObservedRun`
+    whose ``observation`` is ``None`` when neither flag was given (runs
+    then execute with observability off).  On exit, the manifest is
+    completed, the trace sink closed, and the metrics document written.
     """
     if not (args.metrics_out or args.trace_out):
         yield _ObservedRun(None)
@@ -94,8 +105,8 @@ def _observed(
     recorder = ManifestRecorder(
         experiment,
         protocols=protocols,
-        params=asdict(config),
-        seed=config.seed,
+        params=params,
+        seed=seed,
     )
     try:
         with recorder:
@@ -126,21 +137,21 @@ def _cmd_figures(args: argparse.Namespace) -> str:
 def _cmd_fig7(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG7_PROTOCOLS]
-    with _observed(args, "fig7", labels, config) as run:
+    with _observed(args, "fig7", labels, asdict(config), config.seed) as run:
         return report_fig7(run_fig7(config, observation=run.observation))
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG8_PROTOCOLS]
-    with _observed(args, "fig8", labels, config) as run:
+    with _observed(args, "fig8", labels, asdict(config), config.seed) as run:
         return report_fig8(run_fig8(config, observation=run.observation))
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = ["UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d"]
-    with _observed(args, "fig9", labels, config) as run:
+    with _observed(args, "fig9", labels, asdict(config), config.seed) as run:
         return report_fig9(run_fig9(config, observation=run.observation))
 
 
@@ -198,6 +209,31 @@ def _cmd_ablations(args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    scenarios = preset_scenarios(seed=args.seed, quick=args.quick)
+    if args.scenario != "all":
+        scenarios = [s for s in scenarios if s.name == args.scenario]
+    labels = [scenario.name for scenario in scenarios]
+    params = {
+        "quick": args.quick,
+        "scenario": args.scenario,
+        "scenarios": labels,
+        "protocol": scenarios[0].protocol,
+    }
+    with _observed(args, "cluster", labels, params, args.seed) as run:
+        results = run_scenarios(scenarios, observation=run.observation)
+    parts = []
+    for scenario, result in zip(scenarios, results):
+        parts.append(
+            f"[{scenario.name}] {scenario.topology.n_servers} servers x "
+            f"{scenario.topology.spec_of(0).capacity} channels, "
+            f"{scenario.topology.n_titles} titles, router {scenario.router}"
+        )
+        parts.append(result.render())
+        parts.append("")
+    return "\n".join(parts).rstrip()
+
+
 def _cmd_catalog(args: argparse.Namespace) -> str:
     config = SweepConfig(seed=args.seed).quick(
         base_hours=10.0 if not args.quick else 3.0,
@@ -219,6 +255,7 @@ _COMMANDS = {
     "variants": _cmd_variants,
     "ablations": _cmd_ablations,
     "catalog": _cmd_catalog,
+    "cluster": _cmd_cluster,
 }
 
 
@@ -246,7 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="PATH",
         default=None,
-        help="stream per-slot JSONL trace records (fig7/fig8/fig9)",
+        help="stream per-slot JSONL trace records (fig7/fig8/fig9/cluster)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=(*CLUSTER_SCENARIOS, "all"),
+        default="all",
+        help="which cluster preset to run (cluster command only)",
     )
     return parser
 
@@ -260,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--metrics-out/--trace-out only apply to "
             f"{'/'.join(sorted(OBSERVABLE_COMMANDS))}, not {args.command!r}"
         )
+    if args.scenario != "all" and args.command != "cluster":
+        parser.error("--scenario only applies to the cluster command")
     output = _COMMANDS[args.command](args)
     try:
         print(output)

@@ -1,0 +1,129 @@
+"""Request routing: pick a replica for each arriving request, or reject.
+
+A :class:`Router` sees one request at a time — ``(title, slot)`` plus the
+title's preference-ordered replica list — and returns the chosen server or
+``None`` for a rejection.  Only servers that report headroom (alive, backlog
+under the admission limit) are candidates; a request whose every replica is
+saturated or down is rejected at the door, which is the cluster-level
+analogue of Erlang blocking in :mod:`repro.server.channels`.
+
+Three policies, mirroring the usual trade-off triangle:
+
+* :class:`RoundRobinRouter` — spread requests evenly regardless of load;
+  fair, oblivious, and the baseline everything else is measured against.
+* :class:`LeastLoadedRouter` — send each request to the candidate with the
+  smallest deferral pressure (backlog + next slot's scheduled demand).
+  Best at dodging hot servers, but splitting one title's viewers across
+  replicas costs broadcast sharing: each replica runs its own protocol
+  instance, so a popular title served from k servers pays for k schedules.
+* :class:`AffinityRouter` — keep each title on the earliest preferred
+  replica with headroom (the placement's rotation spreads primaries).
+  Maximizes per-title sharing — the property the multiplexing experiments
+  rely on — and falls back down the preference list only under overload
+  or failure.
+
+All policies are deterministic: same request sequence, same decisions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+from ..errors import ClusterError
+from .admission import CappedServer
+
+#: Router names accepted by :func:`make_router`.
+ROUTER_NAMES = ("round-robin", "least-loaded", "affinity")
+
+
+class Router(ABC):
+    """Strategy choosing a replica server for each arriving request."""
+
+    @abstractmethod
+    def choose(
+        self,
+        title: int,
+        slot: int,
+        candidates: Sequence[CappedServer],
+    ) -> Optional[CappedServer]:
+        """Pick one of ``candidates`` (preference order) or ``None`` to reject.
+
+        ``candidates`` holds only servers with headroom; it may be empty,
+        in which case the router must reject.
+        """
+
+
+class RoundRobinRouter(Router):
+    """Deal each title's requests around its replica ring in arrival order."""
+
+    def __init__(self):
+        self._next: Dict[int, int] = {}
+
+    def choose(
+        self,
+        title: int,
+        slot: int,
+        candidates: Sequence[CappedServer],
+    ) -> Optional[CappedServer]:
+        if not candidates:
+            return None
+        turn = self._next.get(title, 0)
+        chosen = candidates[turn % len(candidates)]
+        self._next[title] = turn + 1
+        return chosen
+
+
+class LeastLoadedRouter(Router):
+    """Send the request to the candidate with the least deferral pressure.
+
+    Pressure is ``backlog + demand(slot + 1)`` (see
+    :meth:`CappedServer.pressure`); ties break toward the earlier entry in
+    the preference order, keeping the policy deterministic.
+    """
+
+    def choose(
+        self,
+        title: int,
+        slot: int,
+        candidates: Sequence[CappedServer],
+    ) -> Optional[CappedServer]:
+        if not candidates:
+            return None
+        best = candidates[0]
+        best_pressure = best.pressure(slot)
+        for server in candidates[1:]:
+            pressure = server.pressure(slot)
+            if pressure < best_pressure:
+                best, best_pressure = server, pressure
+        return best
+
+
+class AffinityRouter(Router):
+    """Stick to the earliest preferred replica that still has headroom.
+
+    Concentrating a title's viewers on one server lets its broadcast
+    protocol share segment transmissions across all of them; the fallback
+    order is exactly the placement's preference list.
+    """
+
+    def choose(
+        self,
+        title: int,
+        slot: int,
+        candidates: Sequence[CappedServer],
+    ) -> Optional[CappedServer]:
+        if not candidates:
+            return None
+        return candidates[0]
+
+
+def make_router(name: str) -> Router:
+    """Build the router policy called ``name`` (see :data:`ROUTER_NAMES`)."""
+    if name == "round-robin":
+        return RoundRobinRouter()
+    if name == "least-loaded":
+        return LeastLoadedRouter()
+    if name == "affinity":
+        return AffinityRouter()
+    raise ClusterError(f"unknown router {name!r}; choose from {list(ROUTER_NAMES)}")

@@ -1,0 +1,631 @@
+"""Cluster scenarios: the multi-server slotted runner and its results.
+
+A :class:`ClusterScenario` is a complete, frozen description of one run —
+topology, router policy, protocol, workload, fault plan, seed — so the same
+scenario value always reproduces the same :class:`ClusterResult`, whether it
+runs in this process or on a worker (``run_scenarios`` fans a batch across a
+process pool with bit-for-bit the serial results, the same discipline as
+:mod:`repro.experiments.parallel`).
+
+One simulated slot advances in four steps, preserving the slotted driver's
+record-before-deliver convention (:mod:`repro.sim.slotted`):
+
+1. **fault transitions** — recoveries, then crashes; a crash runs the full
+   degraded-mode failover (:func:`repro.cluster.faults.fail_over`) *before*
+   the slot is finalized, so rescheduled instances may still land in the
+   current slot and no admitted client can miss a deadline-now segment;
+2. **finalize** — each server applies its (possibly fault-reduced) channel
+   cap to the slot's scheduled demand and advances its deferral ledger;
+   aggregate and per-title load series are recorded here;
+3. **deliver** — the slot's arrivals are routed: the title's replica list is
+   filtered to alive servers with admission headroom, the router picks one
+   (or rejects), and the chosen server admits the request into its protocol;
+4. **release** — per-slot bookkeeping below the current slot is dropped,
+   keeping memory flat over long horizons.
+
+The per-title series make the cluster's statistical-multiplexing argument
+testable: provisioning each title alone costs the sum of per-title
+:meth:`~ClusterResult.title_capacity_for_overflow` values, while the pooled
+cluster only needs :meth:`~ClusterResult.capacity_for_overflow` of the
+aggregate — strictly less whenever titles peak at different times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.tables import format_simple_table
+from ..errors import ClusterError
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import MemoryTraceSink, Observation
+from ..protocols.registry import SLOTTED_NAMES, ProtocolContext, build_protocol
+from ..server.provisioning import ProvisioningResult
+from ..sim.rng import RandomStreams
+from ..workload.arrivals import PoissonArrivals
+from ..workload.popularity import ZipfCatalog
+from .admission import CappedServer
+from .faults import (
+    NO_FAULTS,
+    CrashWindow,
+    FailoverEvent,
+    FaultSchedule,
+    fail_over,
+    supports_rescheduling,
+)
+from .routing import ROUTER_NAMES, make_router
+from .topology import ClusterTopology, uniform_topology
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One complete cluster experiment, reproducible from its value alone."""
+
+    name: str
+    topology: ClusterTopology
+    router: str = "affinity"
+    protocol: str = "dhb"
+    n_segments: int = 60
+    slot_duration: float = 20.0
+    horizon_slots: int = 720
+    warmup_slots: int = 120
+    total_rate_per_hour: float = 300.0
+    zipf_theta: float = 1.0
+    seed: int = 2001
+    faults: FaultSchedule = NO_FAULTS
+    backlog_limit: Optional[int] = None
+    keep_title_series: bool = True
+
+    def __post_init__(self):
+        if self.router not in ROUTER_NAMES:
+            raise ClusterError(
+                f"unknown router {self.router!r}; choose from {list(ROUTER_NAMES)}"
+            )
+        if self.protocol not in SLOTTED_NAMES:
+            raise ClusterError(
+                f"cluster scenarios need a slotted protocol, not {self.protocol!r}"
+            )
+        if self.n_segments < 1:
+            raise ClusterError(f"n_segments must be >= 1, got {self.n_segments}")
+        if self.slot_duration <= 0:
+            raise ClusterError(
+                f"slot_duration must be > 0, got {self.slot_duration}"
+            )
+        if not 0 <= self.warmup_slots < self.horizon_slots:
+            raise ClusterError(
+                f"need 0 <= warmup ({self.warmup_slots}) < horizon "
+                f"({self.horizon_slots})"
+            )
+        if self.total_rate_per_hour < 0:
+            raise ClusterError("total_rate_per_hour must be >= 0")
+        self.faults.validate_against(self.topology)
+        if self.faults.crashes and not supports_rescheduling(
+            build_protocol(self.protocol, self._context())
+        ):
+            raise ClusterError(
+                f"protocol {self.protocol!r} cannot reschedule lost segment "
+                "instances; crash scenarios require DHB"
+            )
+
+    def _context(self) -> ProtocolContext:
+        return ProtocolContext(
+            n_segments=self.n_segments,
+            duration=self.n_segments * self.slot_duration,
+            rate_per_hour=max(self.total_rate_per_hour, 1e-9),
+        )
+
+
+@dataclass(frozen=True)
+class ServerSummary:
+    """Per-server outcome of one scenario run."""
+
+    server_id: int
+    capacity: int
+    titles: int
+    admitted: int
+    transmitted_instances: int
+    deferred_instance_slots: int
+    failover_in: int
+    down_slots: int
+    mean_load: float
+    peak_load: int
+
+
+@dataclass
+class ClusterResult:
+    """Everything one scenario run measured.
+
+    ``aggregate`` is the post-warmup per-slot scheduled demand summed over
+    alive servers; ``per_title`` (when kept) holds the same series split by
+    title, which is what the multiplexing comparison needs.
+    """
+
+    scenario: str
+    slots_measured: int
+    aggregate: np.ndarray
+    per_title: Optional[np.ndarray]
+    servers: List[ServerSummary]
+    admitted: int
+    rejected: int
+    mean_wait: float
+    max_wait: float
+    crashes: int
+    failovers: List[FailoverEvent] = field(default_factory=list)
+    instances_lost: int = 0
+
+    @property
+    def mean_streams(self) -> float:
+        """Average aggregate cluster demand in streams."""
+        return float(self.aggregate.mean()) if len(self.aggregate) else 0.0
+
+    @property
+    def peak_streams(self) -> int:
+        """Largest observed aggregate demand."""
+        return int(self.aggregate.max()) if len(self.aggregate) else 0
+
+    @property
+    def deferred_instance_slots(self) -> int:
+        """Total client-visible lateness, in instance-slots, fleet-wide."""
+        return sum(summary.deferred_instance_slots for summary in self.servers)
+
+    def capacity_for_overflow(self, overflow_probability: float) -> int:
+        """Pooled capacity meeting the overflow target on the aggregate."""
+        return ProvisioningResult(self.aggregate, []).capacity_for_overflow(
+            overflow_probability
+        )
+
+    def title_capacity_for_overflow(
+        self, title: int, overflow_probability: float
+    ) -> int:
+        """Capacity meeting the overflow target for one title provisioned alone."""
+        if self.per_title is None:
+            raise ClusterError(
+                "scenario ran with keep_title_series=False; no per-title series"
+            )
+        if not 0 <= title < len(self.per_title):
+            raise ClusterError(
+                f"title {title} outside catalog of {len(self.per_title)}"
+            )
+        return ProvisioningResult(self.per_title[title], []).capacity_for_overflow(
+            overflow_probability
+        )
+
+    def naive_capacity_sum(self, overflow_probability: float) -> int:
+        """Σ per-title capacities — what separate single-title servers cost."""
+        if self.per_title is None:
+            raise ClusterError(
+                "scenario ran with keep_title_series=False; no per-title series"
+            )
+        return sum(
+            self.title_capacity_for_overflow(title, overflow_probability)
+            for title in range(len(self.per_title))
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot; equality of snapshots is bit-for-bit equality."""
+        return {
+            "scenario": self.scenario,
+            "slots_measured": self.slots_measured,
+            "aggregate": [int(v) for v in self.aggregate],
+            "per_title": (
+                None
+                if self.per_title is None
+                else [[int(v) for v in row] for row in self.per_title]
+            ),
+            "servers": [asdict(summary) for summary in self.servers],
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "mean_wait": self.mean_wait,
+            "max_wait": self.max_wait,
+            "crashes": self.crashes,
+            "failovers": [asdict(event) for event in self.failovers],
+            "instances_lost": self.instances_lost,
+        }
+
+    def render(self) -> str:
+        """Human-readable per-server table plus the fleet summary."""
+        rows = [
+            [
+                summary.server_id,
+                summary.capacity,
+                summary.titles,
+                summary.admitted,
+                summary.failover_in,
+                summary.deferred_instance_slots,
+                summary.down_slots,
+                f"{summary.mean_load:.2f}",
+                summary.peak_load,
+            ]
+            for summary in self.servers
+        ]
+        table = format_simple_table(
+            [
+                "server",
+                "cap",
+                "titles",
+                "admitted",
+                "failover_in",
+                "deferred",
+                "down",
+                "mean load",
+                "peak",
+            ],
+            rows,
+        )
+        lines = [
+            f"scenario {self.scenario}: {self.admitted} admitted, "
+            f"{self.rejected} rejected, {self.crashes} crash(es), "
+            f"{len(self.failovers)} failover instance(s), "
+            f"{self.instances_lost} lost",
+            f"aggregate demand: mean {self.mean_streams:.2f}, "
+            f"peak {self.peak_streams} streams over {self.slots_measured} slots; "
+            f"q(1e-2) capacity {self.capacity_for_overflow(1e-2)}",
+            table,
+        ]
+        return "\n".join(lines)
+
+
+def run_scenario(
+    scenario: ClusterScenario,
+    observation: Optional[Observation] = None,
+) -> ClusterResult:
+    """Simulate one cluster scenario over the shared slotted timeline."""
+    topology = scenario.topology
+    placement = topology.placement
+    streams = RandomStreams(scenario.seed)
+    d = scenario.slot_duration
+    horizon = scenario.horizon_slots
+    warmup = scenario.warmup_slots
+    times = PoissonArrivals(scenario.total_rate_per_hour).generate(
+        horizon * d, streams.get("cluster-arrivals")
+    )
+    titles = ZipfCatalog(topology.n_titles, scenario.zipf_theta).assign(
+        len(times), streams.get("cluster-titles")
+    )
+    context = scenario._context()
+
+    def protocol_factory(title: int):
+        return build_protocol(scenario.protocol, context)
+
+    servers = [
+        CappedServer(
+            spec,
+            placement.titles_on(spec.server_id),
+            protocol_factory,
+            backlog_limit=scenario.backlog_limit,
+        )
+        for spec in topology.servers
+    ]
+    by_id = {server.server_id: server for server in servers}
+    router = make_router(scenario.router)
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
+
+    measured = horizon - warmup
+    aggregate = np.zeros(measured, dtype=np.int64)
+    per_title = (
+        np.zeros((topology.n_titles, measured), dtype=np.int64)
+        if scenario.keep_title_series
+        else None
+    )
+    load_sums = {server.server_id: 0 for server in servers}
+    load_peaks = {server.server_id: 0 for server in servers}
+    waits: List[float] = []
+    rejected = 0
+    failover_events: List[FailoverEvent] = []
+    crashes = 0
+    instances_lost = 0
+    arrival_index = 0
+    n_arrivals = len(times)
+    faults = scenario.faults
+
+    if metrics is not None:
+        run_span = metrics.timer("cluster.run_seconds").time()
+        run_span.__enter__()
+
+    for slot in range(horizon):
+        # 1. Fault transitions (recoveries first: a server whose window ends
+        # here is back up for the whole slot).
+        for server_id in faults.recoveries_at(slot):
+            by_id[server_id].recover()
+        for server_id in faults.crashes_at(slot):
+            crashed = by_id[server_id]
+            if not crashed.alive:
+                continue
+
+            def survivors_of(title: int, _down: int = server_id):
+                return [
+                    by_id[replica]
+                    for replica in placement.replicas_of(title)
+                    if replica != _down and by_id[replica].alive
+                ]
+
+            report = fail_over(crashed, survivors_of, slot)
+            crashes += 1
+            failover_events.extend(report.events)
+            instances_lost += report.lost_for_good
+            if metrics is not None:
+                metrics.counter("cluster.crashes").inc()
+                metrics.counter("cluster.failover.instances").inc(len(report.events))
+                metrics.counter("cluster.failover.rescheduled").inc(report.rescheduled)
+                metrics.counter("cluster.failover.lost").inc(report.lost_for_good)
+
+        # 2. Finalize the slot under each server's effective channel budget.
+        # Loads are final here: arrivals of this slot only touch slots >= slot+1
+        # and failover (the one writer of the current slot) already ran.
+        slot_demand = 0
+        server_records = [] if trace is not None else None
+        for server in servers:
+            cap = faults.effective_capacity(
+                server.server_id, server.spec.capacity, slot
+            )
+            report = server.finalize_slot(slot, cap)
+            slot_demand += report.demand
+            if slot >= warmup:
+                load_sums[server.server_id] += report.demand
+                if report.demand > load_peaks[server.server_id]:
+                    load_peaks[server.server_id] = report.demand
+            if server_records is not None:
+                server_records.append(
+                    {
+                        "id": server.server_id,
+                        "streams": report.demand,
+                        "transmitted": report.transmitted,
+                        "backlog": report.backlog,
+                        "capacity": report.capacity,
+                        "alive": report.alive,
+                    }
+                )
+        if slot >= warmup:
+            aggregate[slot - warmup] = slot_demand
+            if per_title is not None:
+                for title in range(topology.n_titles):
+                    load = 0
+                    for replica in placement.replicas_of(title):
+                        replica_server = by_id[replica]
+                        if replica_server.alive:
+                            load += replica_server.protocols[title].slot_load(slot)
+                    per_title[title, slot - warmup] = load
+            if metrics is not None:
+                metrics.histogram("cluster.slot_load").observe(float(slot_demand))
+
+        # 3. Deliver the slot's arrivals through the router.
+        slot_start = slot * d
+        slot_end = (slot + 1) * d
+        slot_admitted = 0
+        slot_rejected = 0
+        while arrival_index < n_arrivals and times[arrival_index] < slot_end:
+            t = float(times[arrival_index])
+            title = int(titles[arrival_index])
+            arrival_index += 1
+            if t < slot_start:
+                continue
+            candidates = [
+                by_id[replica]
+                for replica in placement.replicas_of(title)
+                if by_id[replica].alive and by_id[replica].has_headroom()
+            ]
+            chosen = router.choose(title, slot, candidates)
+            if chosen is None:
+                rejected += 1
+                slot_rejected += 1
+            else:
+                chosen.admit(title, slot)
+                slot_admitted += 1
+                if slot >= warmup:
+                    waits.append(slot_end - t)
+
+        if trace is not None:
+            trace.emit(
+                {
+                    "kind": "cluster-slot",
+                    "scenario": scenario.name,
+                    "slot": slot,
+                    "streams": slot_demand,
+                    "servers": server_records,
+                    "arrivals": slot_admitted,
+                    "rejected": slot_rejected,
+                    "measured": slot >= warmup,
+                }
+            )
+
+        # 4. Bounded memory: drop bookkeeping below the current slot.
+        for server in servers:
+            server.release_before(slot)
+
+    admitted = sum(server.admitted for server in servers)
+    summaries = [
+        ServerSummary(
+            server_id=server.server_id,
+            capacity=server.spec.capacity,
+            titles=len(server.titles),
+            admitted=server.admitted,
+            transmitted_instances=server.transmitted_instances,
+            deferred_instance_slots=server.deferred_instance_slots,
+            failover_in=server.failover_clients_in,
+            down_slots=server.down_slots,
+            mean_load=load_sums[server.server_id] / measured,
+            peak_load=load_peaks[server.server_id],
+        )
+        for server in servers
+    ]
+    if metrics is not None:
+        run_span.__exit__(None, None, None)
+        metrics.counter("cluster.slots").inc(horizon)
+        metrics.counter("cluster.requests").inc(admitted)
+        metrics.counter("cluster.rejected").inc(rejected)
+        metrics.gauge("cluster.servers").set(topology.n_servers)
+        metrics.gauge("cluster.titles").set(topology.n_titles)
+        metrics.gauge("cluster.total_capacity").set(topology.total_capacity)
+        for summary in summaries:
+            prefix = f"cluster.server.{summary.server_id}"
+            metrics.counter(f"{prefix}.admitted").inc(summary.admitted)
+            metrics.counter(f"{prefix}.transmitted").inc(
+                summary.transmitted_instances
+            )
+            metrics.counter(f"{prefix}.deferred_instance_slots").inc(
+                summary.deferred_instance_slots
+            )
+            metrics.counter(f"{prefix}.failover_in").inc(summary.failover_in)
+            metrics.counter(f"{prefix}.down_slots").inc(summary.down_slots)
+    measured_requests = len(waits)
+    return ClusterResult(
+        scenario=scenario.name,
+        slots_measured=measured,
+        aggregate=aggregate,
+        per_title=per_title,
+        servers=summaries,
+        admitted=admitted,
+        rejected=rejected,
+        mean_wait=sum(waits) / measured_requests if measured_requests else 0.0,
+        max_wait=max(waits) if waits else 0.0,
+        crashes=crashes,
+        failovers=failover_events,
+        instances_lost=instances_lost,
+    )
+
+
+class _ScenarioCell(NamedTuple):
+    """One scenario's portable outcome (result + observability snapshots)."""
+
+    result: ClusterResult
+    metrics: Dict
+    trace: List[Dict]
+
+
+def _run_scenario_cell(
+    scenario: ClusterScenario, want_observation: bool, want_trace: bool
+) -> _ScenarioCell:
+    """Run one scenario under a cell-local registry/sink (pool-safe)."""
+    if not want_observation:
+        return _ScenarioCell(run_scenario(scenario), {}, [])
+    registry = MetricsRegistry()
+    sink = MemoryTraceSink() if want_trace else None
+    result = run_scenario(
+        scenario, observation=Observation(metrics=registry, trace=sink)
+    )
+    return _ScenarioCell(
+        result=result,
+        metrics=registry.to_dict(),
+        trace=sink.records if sink is not None else [],
+    )
+
+
+def run_scenarios(
+    scenarios: Sequence[ClusterScenario],
+    n_jobs: Optional[int] = None,
+    observation: Optional[Observation] = None,
+) -> List[ClusterResult]:
+    """Run a batch of scenarios, optionally across a process pool.
+
+    Results come back in input order and are bit-for-bit identical to the
+    serial path: each scenario is a deterministic function of its value, and
+    the parent merges worker metric/trace snapshots in task order (the same
+    discipline as :class:`repro.experiments.parallel.ParallelSweepExecutor`).
+    ``n_jobs`` resolves like the sweep executor's (explicit argument, then
+    ``REPRO_SWEEP_JOBS``, then serial); pool failures degrade to serial.
+    """
+    from ..experiments.parallel import resolve_n_jobs
+
+    jobs = resolve_n_jobs(n_jobs)
+    want_observation = observation is not None
+    want_trace = want_observation and observation.trace is not None
+    if jobs == 1 or len(scenarios) <= 1:
+        cells = [
+            _run_scenario_cell(scenario, want_observation, want_trace)
+            for scenario in scenarios
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
+                futures = [
+                    pool.submit(
+                        _run_scenario_cell, scenario, want_observation, want_trace
+                    )
+                    for scenario in scenarios
+                ]
+                cells = [future.result() for future in futures]
+        except (OSError, PermissionError):
+            cells = [
+                _run_scenario_cell(scenario, want_observation, want_trace)
+                for scenario in scenarios
+            ]
+    if want_observation:
+        for cell in cells:
+            observation.metrics.merge_dict(cell.metrics)
+            if observation.trace is not None:
+                for record in cell.trace:
+                    observation.trace.emit(record)
+    return [cell.result for cell in cells]
+
+
+def preset_scenarios(seed: int = 2001, quick: bool = False) -> List[ClusterScenario]:
+    """The CLI's named scenarios: ``baseline``, ``skewed``, ``crash``.
+
+    * ``baseline`` — replicated catalog, affinity routing, no faults: the
+      clean statistical-multiplexing picture.
+    * ``skewed`` — popularity-weighted replication with least-loaded
+      routing: hot titles fan out, cold titles stay narrow.
+    * ``crash`` — baseline topology plus one mid-run server crash: degraded
+      mode, failover, and recovery in one run.
+    """
+    if quick:
+        n_servers, capacity, n_titles = 4, 16, 6
+        n_segments, horizon, warmup = 30, 240, 40
+        rate = 240.0
+    else:
+        n_servers, capacity, n_titles = 4, 24, 8
+        n_segments, horizon, warmup = 60, 720, 120
+        rate = 360.0
+    common = dict(
+        n_segments=n_segments,
+        slot_duration=20.0,
+        horizon_slots=horizon,
+        warmup_slots=warmup,
+        total_rate_per_hour=rate,
+        seed=seed,
+    )
+    crash_start = horizon // 2
+    crash_end = crash_start + max(horizon // 8, 1)
+    return [
+        ClusterScenario(
+            name="baseline",
+            topology=uniform_topology(
+                n_servers, capacity=capacity, n_titles=n_titles
+            ),
+            router="affinity",
+            **common,
+        ),
+        ClusterScenario(
+            name="skewed",
+            topology=uniform_topology(
+                n_servers,
+                capacity=capacity,
+                n_titles=n_titles,
+                placement="popularity",
+            ),
+            router="least-loaded",
+            **common,
+        ),
+        ClusterScenario(
+            name="crash",
+            topology=uniform_topology(
+                n_servers, capacity=capacity + 8, n_titles=n_titles
+            ),
+            router="affinity",
+            faults=FaultSchedule(
+                crashes=(
+                    # Server 0 dies mid-run and returns an eighth of the
+                    # horizon later with empty schedules.
+                    CrashWindow(
+                        server_id=0, start_slot=crash_start, end_slot=crash_end
+                    ),
+                )
+            ),
+            **common,
+        ),
+    ]

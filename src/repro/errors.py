@@ -67,6 +67,15 @@ class WorkloadError(ReproError):
     """An arrival process or request stream was asked for something invalid."""
 
 
+class ClusterError(ReproError):
+    """A cluster topology, routing policy, or fault schedule is inconsistent.
+
+    Raised when a catalog placement leaves a title with no replica, a fault
+    window references an unknown server, or degraded-mode failover is asked
+    of a protocol that cannot reschedule lost segment instances.
+    """
+
+
 class VideoModelError(ReproError):
     """A video model or trace is malformed (negative sizes, empty trace, ...)."""
 

@@ -11,6 +11,7 @@ def test_parser_knows_all_commands():
     parser = build_parser()
     for command in [
         "figures", "fig7", "fig8", "fig9", "variants", "ablations", "catalog",
+        "cluster",
     ]:
         args = parser.parse_args([command])
         assert args.command == command
@@ -110,3 +111,64 @@ def test_observability_flags_rejected_for_table_commands(capsys):
     with pytest.raises(SystemExit):
         main(["variants", "--metrics-out", "x.json"])
     assert "--metrics-out" in capsys.readouterr().err
+
+
+def test_cluster_quick(capsys):
+    assert main(["cluster", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "[baseline]" in out and "[skewed]" in out and "[crash]" in out
+    assert "failover_in" in out  # the per-server table header
+
+
+def test_cluster_single_scenario_with_observability(tmp_path, capsys):
+    metrics_path = tmp_path / "cluster.json"
+    trace_path = tmp_path / "cluster.jsonl"
+    assert (
+        main(
+            [
+                "cluster",
+                "--quick",
+                "--scenario",
+                "crash",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "[crash]" in out and "[baseline]" not in out
+
+    document = json.loads(metrics_path.read_text())
+    assert document["schema"] == 1
+    manifest = document["manifest"]
+    assert manifest["experiment"] == "cluster"
+    assert manifest["protocols"] == ["crash"]
+    assert manifest["params"]["scenario"] == "crash"
+    counters = document["metrics"]["counters"]
+    assert counters["cluster.crashes"] == 1
+    assert counters["cluster.failover.instances"] > 0
+    assert counters["cluster.failover.lost"] == 0
+    assert counters["cluster.slots"] > 0
+
+    records = [
+        json.loads(line) for line in trace_path.read_text().splitlines()
+    ]
+    assert document["trace"]["records"] == len(records)
+    cluster_records = [r for r in records if r["kind"] == "cluster-slot"]
+    assert cluster_records
+    first = cluster_records[0]
+    assert {"slot", "streams", "servers", "arrivals", "rejected"} <= set(first)
+    assert [s["id"] for s in first["servers"]] == [0, 1, 2, 3]
+    down = [
+        r for r in cluster_records if not all(s["alive"] for s in r["servers"])
+    ]
+    assert down  # the crash window shows up with server ids in the trace
+
+
+def test_scenario_flag_rejected_outside_cluster(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig7", "--quick", "--scenario", "crash"])
+    assert "--scenario" in capsys.readouterr().err
