@@ -15,10 +15,10 @@ the hot loop" tripwire, not a microbenchmark suite:
   slower box still gates correctly.
 * **Noise floor.**  A fixed floor is added to both sides of the ratio so
   microsecond-scale benches cannot trip the gate on scheduler jitter.
-* **Determinism check.**  The fresh ``fig7_quick_parallel`` and
-  ``cluster_quick_parallel`` benches must report ``verified: 1`` — the
-  serial/parallel bit-for-bit equality invariant is part of the gate, not
-  just the timings.
+* **Determinism check.**  The fresh ``fig7_quick_parallel``,
+  ``cluster_quick_parallel`` and ``runtime_quick`` benches must report
+  ``verified: 1`` — the serial/parallel bit-for-bit equality invariant is
+  part of the gate, not just the timings.
 
 Exit status: 0 when every bench passes, 1 on any regression or missing
 bench, 2 on a malformed/missing baseline.
@@ -95,7 +95,11 @@ def compare(
         )
         if ratio > threshold:
             failures.append(f"{name}: {ratio:.2f}x slower than baseline")
-    for verified_bench in ("fig7_quick_parallel", "cluster_quick_parallel"):
+    for verified_bench in (
+        "fig7_quick_parallel",
+        "cluster_quick_parallel",
+        "runtime_quick",
+    ):
         parallel = fresh_benches.get(verified_bench, {}).get("detail", {})
         if parallel.get("verified") != 1:
             failures.append(

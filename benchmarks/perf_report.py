@@ -32,12 +32,18 @@ except ImportError:  # direct invocation from a source checkout
 
 import numpy as np
 
-from repro.cluster.scenario import preset_scenarios, run_scenario, run_scenarios
+from repro.cluster.scenario import (
+    preset_scenarios,
+    run_scenario,
+    run_scenarios,
+    scenario_specs,
+)
 from repro.core.dhb import DHBProtocol
 from repro.experiments.config import SweepConfig
 from repro.experiments.fig7 import FIG7_PROTOCOLS
-from repro.experiments.runner import clear_trace_cache, sweep_protocols
+from repro.experiments.runner import clear_trace_cache, sweep_grid, sweep_protocols
 from repro.protocols.ud import UniversalDistributionProtocol
+from repro.runtime import Engine
 
 #: Quick Figure-7 grid: full protocol set, three rates, short horizons.
 QUICK_CONFIG = SweepConfig().quick()
@@ -116,6 +122,29 @@ def bench_cluster_parallel() -> Dict[str, float]:
     }
 
 
+def bench_runtime_quick() -> Dict[str, float]:
+    """A mixed spec batch (sweep cells + cluster scenarios) on one Engine.
+
+    Exercises the unified runtime the way the CLI does: heterogeneous task
+    kinds in a single submission, serial vs two workers, with the usual
+    bit-for-bit equality assertion.
+    """
+    names = [name for name, _ in FIG7_PROTOCOLS]
+    specs = sweep_grid(names, QUICK_CONFIG) + scenario_specs(
+        preset_scenarios(quick=True)
+    )
+    serial = Engine(n_jobs=1).run_values(specs)
+    parallel = Engine(n_jobs=2).run_values(specs)
+    for spec, a, b in zip(specs, serial, parallel):
+        a_dict = a.to_dict() if hasattr(a, "to_dict") else a
+        b_dict = b.to_dict() if hasattr(b, "to_dict") else b
+        if a_dict != b_dict:
+            raise AssertionError(
+                f"parallel runtime diverged from serial for {spec.label!r}"
+            )
+    return {"specs": len(specs), "verified": 1}
+
+
 BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro_dhb_saturated": bench_dhb_saturated,
     "micro_dhb_cold": bench_dhb_cold,
@@ -124,6 +153,7 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "fig7_quick_parallel": bench_fig7_quick_parallel,
     "cluster_quick": bench_cluster_quick,
     "cluster_quick_parallel": bench_cluster_parallel,
+    "runtime_quick": bench_runtime_quick,
 }
 
 

@@ -12,9 +12,11 @@ Usage::
 
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
-workload seed.  ``cluster`` runs the multi-server scenarios of
-``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three,
-fanning across ``REPRO_SWEEP_JOBS`` workers when set).
+workload seed.  ``--jobs N`` runs every command on an N-worker execution
+engine (``-1`` = all cores; without the flag the ``REPRO_SWEEP_JOBS``
+environment variable applies, else serial) — results are bit-for-bit
+identical either way.  ``cluster`` runs the multi-server scenarios of
+``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three).
 
 The measured commands (fig7, fig8, fig9, cluster) also accept
 observability outputs (see ``docs/OBSERVABILITY.md`` for the schemas)::
@@ -49,13 +51,11 @@ from .experiments.ablations import (
 )
 from .experiments.catalog import run_catalog
 from .experiments.config import SweepConfig
-from .experiments.fig1to5 import render_all_figures
 from .experiments.fig7 import FIG7_PROTOCOLS, report_fig7, run_fig7
 from .experiments.fig8 import FIG8_PROTOCOLS, report_fig8, run_fig8
-from .experiments.fig9 import FIG9_MAX_WAIT, report_fig9, run_fig9
-from .obs.manifest import ManifestRecorder
-from .obs.registry import MetricsRegistry
+from .experiments.fig9 import FIG9_MAX_WAIT, FIG9_SERIES, report_fig9, run_fig9
 from .obs.trace import JsonlTraceSink, Observation
+from .runtime import Engine, RunSpec, observed_run
 from .units import KILOBYTE
 from .video.matrix import matrix_like_video
 
@@ -73,8 +73,13 @@ def _config(args: argparse.Namespace) -> SweepConfig:
     return config
 
 
+def _engine(args: argparse.Namespace) -> Engine:
+    """The command's execution engine (``--jobs``, else ``REPRO_SWEEP_JOBS``)."""
+    return Engine(n_jobs=args.jobs)
+
+
 class _ObservedRun:
-    """The CLI's observability session: observation in, files out."""
+    """The disabled observability session (neither output flag given)."""
 
     def __init__(self, observation: Optional[Observation]):
         self.observation = observation
@@ -90,69 +95,68 @@ def _observed(
 ) -> Iterator[_ObservedRun]:
     """Wire up --metrics-out/--trace-out for one measured command.
 
-    ``params`` is the JSON-safe parameter record for the manifest (the
-    sweep commands pass their ``SweepConfig`` as a dict, the cluster
-    command its scenario selection).  Yields an :class:`_ObservedRun`
-    whose ``observation`` is ``None`` when neither flag was given (runs
-    then execute with observability off).  On exit, the manifest is
-    completed, the trace sink closed, and the metrics document written.
+    Thin CLI shell over :func:`repro.runtime.observed_run` — the runtime
+    owns the registry/manifest/trace wiring; this adds only the file
+    outputs.  ``params`` is the JSON-safe parameter record for the
+    manifest.  Yields a run whose ``observation`` is ``None`` when neither
+    flag was given (runs then execute with observability off).  On exit,
+    the manifest is completed, the trace sink closed, and the metrics
+    document written.
     """
     if not (args.metrics_out or args.trace_out):
         yield _ObservedRun(None)
         return
-    registry = MetricsRegistry()
     sink = JsonlTraceSink(args.trace_out) if args.trace_out else None
-    recorder = ManifestRecorder(
-        experiment,
-        protocols=protocols,
-        params=params,
-        seed=seed,
-    )
     try:
-        with recorder:
-            yield _ObservedRun(Observation(metrics=registry, trace=sink))
+        with observed_run(
+            experiment, protocols=protocols, params=params, seed=seed, trace=sink
+        ) as run:
+            yield run
     finally:
         if sink is not None:
             sink.close()
     if args.metrics_out:
-        document = {
-            "schema": 1,
-            "manifest": recorder.manifest.to_dict(),
-            "metrics": registry.to_dict(),
-            "trace": (
-                {"path": str(args.trace_out), "records": sink.records_written}
-                if sink is not None
-                else None
-            ),
-        }
+        document = run.metrics_document()
+        document["trace"] = (
+            {"path": str(args.trace_out), "records": sink.records_written}
+            if sink is not None
+            else None
+        )
         pathlib.Path(args.metrics_out).write_text(
             json.dumps(document, indent=2, sort_keys=True) + "\n"
         )
 
 
 def _cmd_figures(args: argparse.Namespace) -> str:
-    return render_all_figures()
+    specs = [RunSpec("figure-render", (), label="figures 1-5")]
+    return _engine(args).run_values(specs)[0]
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG7_PROTOCOLS]
     with _observed(args, "fig7", labels, asdict(config), config.seed) as run:
-        return report_fig7(run_fig7(config, observation=run.observation))
+        return report_fig7(
+            run_fig7(config, observation=run.observation, engine=_engine(args))
+        )
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG8_PROTOCOLS]
     with _observed(args, "fig8", labels, asdict(config), config.seed) as run:
-        return report_fig8(run_fig8(config, observation=run.observation))
+        return report_fig8(
+            run_fig8(config, observation=run.observation, engine=_engine(args))
+        )
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
     config = _config(args)
-    labels = ["UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d"]
+    labels = list(FIG9_SERIES)
     with _observed(args, "fig9", labels, asdict(config), config.seed) as run:
-        return report_fig9(run_fig9(config, observation=run.observation))
+        return report_fig9(
+            run_fig9(config, observation=run.observation, engine=_engine(args))
+        )
 
 
 def _cmd_variants(args: argparse.Namespace) -> str:
@@ -183,17 +187,19 @@ def _cmd_variants(args: argparse.Namespace) -> str:
 
 def _cmd_ablations(args: argparse.Namespace) -> str:
     config = _config(args)
+    engine = _engine(args)
     parts: List[str] = []
+    heuristic_series = heuristic_ablation(config, engine=engine)
     parts.append("Heuristic ablation (mean streams):")
-    parts.append(format_series_table(heuristic_ablation(config), value="mean"))
+    parts.append(format_series_table(heuristic_series, value="mean"))
     parts.append("")
     parts.append("Heuristic ablation (max streams):")
-    parts.append(format_series_table(heuristic_ablation(config), value="max", precision=0))
+    parts.append(format_series_table(heuristic_series, value="max", precision=0))
     parts.append("")
     parts.append("Sharing ablation (mean streams):")
-    parts.append(format_series_table(sharing_ablation(config), value="mean"))
+    parts.append(format_series_table(sharing_ablation(config, engine=engine), value="mean"))
     parts.append("")
-    slack_series = slack_dial_ablation(config)
+    slack_series = slack_dial_ablation(config, engine=engine)
     parts.append("Slack-dial ablation (mean streams):")
     parts.append(format_series_table(slack_series, value="mean"))
     parts.append("Slack-dial ablation (max streams):")
@@ -221,7 +227,9 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
         "protocol": scenarios[0].protocol,
     }
     with _observed(args, "cluster", labels, params, args.seed) as run:
-        results = run_scenarios(scenarios, observation=run.observation)
+        results = run_scenarios(
+            scenarios, observation=run.observation, engine=_engine(args)
+        )
     parts = []
     for scenario, result in zip(scenarios, results):
         parts.append(
@@ -239,7 +247,9 @@ def _cmd_catalog(args: argparse.Namespace) -> str:
         base_hours=10.0 if not args.quick else 3.0,
         min_requests=60 if not args.quick else 15,
     )
-    result = run_catalog(n_videos=10, total_rate_per_hour=300.0, config=config)
+    result = run_catalog(
+        n_videos=10, total_rate_per_hour=300.0, config=config, engine=_engine(args)
+    )
     header = (
         "Catalog provisioning: 10 titles, Zipf(1.0) popularity, "
         "300 requests/hour total\n"
@@ -273,6 +283,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="short horizons / few rates"
     )
     parser.add_argument("--seed", type=int, default=2001, help="workload seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the execution engine "
+            "(default: REPRO_SWEEP_JOBS or serial; -1 = all cores)"
+        ),
+    )
     parser.add_argument(
         "--metrics-out",
         metavar="PATH",

@@ -3,9 +3,9 @@
 A :class:`ClusterScenario` is a complete, frozen description of one run —
 topology, router policy, protocol, workload, fault plan, seed — so the same
 scenario value always reproduces the same :class:`ClusterResult`, whether it
-runs in this process or on a worker (``run_scenarios`` fans a batch across a
-process pool with bit-for-bit the serial results, the same discipline as
-:mod:`repro.experiments.parallel`).
+runs in this process or on a worker (``run_scenarios`` fans a batch across
+the runtime Engine with bit-for-bit the serial results, the discipline every
+fan-out shares — see :mod:`repro.runtime.engine`).
 
 One simulated slot advances in four steps, preserving the slotted driver's
 record-before-deliver convention (:mod:`repro.sim.slotted`):
@@ -33,14 +33,13 @@ aggregate — strictly less whenever titles peak at different times.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..analysis.tables import format_simple_table
 from ..errors import ClusterError
-from ..obs.registry import MetricsRegistry
-from ..obs.trace import MemoryTraceSink, Observation
+from ..obs.trace import Observation
 from ..protocols.registry import SLOTTED_NAMES, ProtocolContext, build_protocol
 from ..server.provisioning import ProvisioningResult
 from ..sim.rng import RandomStreams
@@ -57,6 +56,9 @@ from .faults import (
 )
 from .routing import ROUTER_NAMES, make_router
 from .topology import ClusterTopology, uniform_topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..runtime import Engine, RunSpec
 
 
 @dataclass(frozen=True)
@@ -487,80 +489,38 @@ def run_scenario(
     )
 
 
-class _ScenarioCell(NamedTuple):
-    """One scenario's portable outcome (result + observability snapshots)."""
+def scenario_specs(scenarios: Sequence[ClusterScenario]) -> List["RunSpec"]:
+    """The batch as runtime ``"cluster-scenario"`` specs, in input order."""
+    from ..runtime import RunSpec
 
-    result: ClusterResult
-    metrics: Dict
-    trace: List[Dict]
-
-
-def _run_scenario_cell(
-    scenario: ClusterScenario, want_observation: bool, want_trace: bool
-) -> _ScenarioCell:
-    """Run one scenario under a cell-local registry/sink (pool-safe)."""
-    if not want_observation:
-        return _ScenarioCell(run_scenario(scenario), {}, [])
-    registry = MetricsRegistry()
-    sink = MemoryTraceSink() if want_trace else None
-    result = run_scenario(
-        scenario, observation=Observation(metrics=registry, trace=sink)
-    )
-    return _ScenarioCell(
-        result=result,
-        metrics=registry.to_dict(),
-        trace=sink.records if sink is not None else [],
-    )
+    return [
+        RunSpec("cluster-scenario", (scenario,), label=scenario.name)
+        for scenario in scenarios
+    ]
 
 
 def run_scenarios(
     scenarios: Sequence[ClusterScenario],
     n_jobs: Optional[int] = None,
     observation: Optional[Observation] = None,
+    engine: Optional["Engine"] = None,
 ) -> List[ClusterResult]:
-    """Run a batch of scenarios, optionally across a process pool.
+    """Run a batch of scenarios through the runtime Engine.
 
     Results come back in input order and are bit-for-bit identical to the
-    serial path: each scenario is a deterministic function of its value, and
-    the parent merges worker metric/trace snapshots in task order (the same
-    discipline as :class:`repro.experiments.parallel.ParallelSweepExecutor`).
-    ``n_jobs`` resolves like the sweep executor's (explicit argument, then
-    ``REPRO_SWEEP_JOBS``, then serial); pool failures degrade to serial.
+    serial path: each scenario is a deterministic function of its value,
+    and the Engine merges worker metric/trace snapshots in task order (the
+    discipline every runtime fan-out shares — see
+    :mod:`repro.runtime.engine`).  ``n_jobs`` resolves through the runtime
+    config (explicit argument, then ``REPRO_SWEEP_JOBS``, then serial) and
+    is ignored when an ``engine`` is given; pool failures degrade to
+    serial.
     """
-    from ..experiments.parallel import resolve_n_jobs
+    from ..runtime import Engine
 
-    jobs = resolve_n_jobs(n_jobs)
-    want_observation = observation is not None
-    want_trace = want_observation and observation.trace is not None
-    if jobs == 1 or len(scenarios) <= 1:
-        cells = [
-            _run_scenario_cell(scenario, want_observation, want_trace)
-            for scenario in scenarios
-        ]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
-                futures = [
-                    pool.submit(
-                        _run_scenario_cell, scenario, want_observation, want_trace
-                    )
-                    for scenario in scenarios
-                ]
-                cells = [future.result() for future in futures]
-        except (OSError, PermissionError):
-            cells = [
-                _run_scenario_cell(scenario, want_observation, want_trace)
-                for scenario in scenarios
-            ]
-    if want_observation:
-        for cell in cells:
-            observation.metrics.merge_dict(cell.metrics)
-            if observation.trace is not None:
-                for record in cell.trace:
-                    observation.trace.emit(record)
-    return [cell.result for cell in cells]
+    if engine is None:
+        engine = Engine(n_jobs=n_jobs)
+    return engine.run_values(scenario_specs(scenarios), observation=observation)
 
 
 def preset_scenarios(seed: int = 2001, quick: bool = False) -> List[ClusterScenario]:

@@ -32,11 +32,25 @@ from ..core.heuristic import (
     make_random_chooser,
     make_slack_chooser,
 )
+from ..errors import ConfigurationError
+from ..obs.trace import Observation
+from ..runtime import Engine, RunSpec
 from ..sim.rng import RandomStreams
 from ..sim.slotted import SlottedSimulation
 from ..workload.arrivals import DeterministicArrivals
 from .config import SweepConfig
 from .runner import arrivals_for_rate, measure_protocol
+
+#: Slot-chooser arm labels, in presentation order.
+HEURISTIC_ARMS = (
+    "min-load/latest (paper)",
+    "min-load/earliest",
+    "always-latest (naive)",
+    "random-fit",
+)
+
+#: Sharing-study arm labels mapped to the ``enable_sharing`` flag.
+SHARING_ARMS = {"DHB (sharing)": True, "DHB (no sharing)": False}
 
 
 def _choosers(seed: int) -> Dict[str, SlotChooser]:
@@ -48,47 +62,109 @@ def _choosers(seed: int) -> Dict[str, SlotChooser]:
     }
 
 
-def heuristic_ablation(config: Optional[SweepConfig] = None) -> List[ProtocolSeries]:
-    """Sweep DHB under each slot chooser."""
-    if config is None:
-        config = SweepConfig()
-    all_series: List[ProtocolSeries] = []
-    for label, chooser in _choosers(config.seed).items():
-        series = ProtocolSeries(label)
-        for rate in config.rates_per_hour:
-            protocol = DHBProtocol(n_segments=config.n_segments, chooser=chooser)
-            series.add(
-                measure_protocol(
-                    protocol, config, rate, arrival_times=arrivals_for_rate(config, rate)
-                )
+def run_ablation_series(
+    study: str,
+    arm,
+    config: SweepConfig,
+    observation: Optional[Observation] = None,
+) -> ProtocolSeries:
+    """Measure one ablation arm — the ``"ablation-series"`` task handler.
+
+    One arm is a whole series (not one grid cell) because the random-fit
+    chooser carries a seeded rng whose state must advance across the rates
+    of *its own* series only; splitting per-point would replay the stream.
+    The chooser is built once per series from ``config.seed``, exactly as
+    the pre-runtime serial loops did.
+    """
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
+    if study == "heuristic":
+        choosers = _choosers(config.seed)
+        if arm not in choosers:
+            raise ConfigurationError(f"unknown heuristic arm {arm!r}")
+        chooser = choosers[arm]
+        label = arm
+
+        def build_protocol():
+            return DHBProtocol(n_segments=config.n_segments, chooser=chooser)
+
+    elif study == "sharing":
+        if arm not in SHARING_ARMS:
+            raise ConfigurationError(f"unknown sharing arm {arm!r}")
+        sharing = SHARING_ARMS[arm]
+        label = arm
+
+        def build_protocol():
+            return DHBProtocol(n_segments=config.n_segments, enable_sharing=sharing)
+
+    elif study == "slack":
+        slack = int(arm)
+        label = "slack=inf" if slack >= 1_000_000 else f"slack={slack}"
+
+        def build_protocol():
+            return DHBProtocol(
+                n_segments=config.n_segments, chooser=make_slack_chooser(slack)
             )
-        all_series.append(series)
-    return all_series
+
+    else:
+        raise ConfigurationError(f"unknown ablation study {study!r}")
+    series = ProtocolSeries(label)
+    for rate in config.rates_per_hour:
+        series.add(
+            measure_protocol(
+                build_protocol(),
+                config,
+                rate,
+                arrival_times=arrivals_for_rate(config, rate),
+                metrics=metrics,
+                trace=trace,
+                trace_context={"protocol": label, "rate_per_hour": rate},
+            )
+        )
+    return series
 
 
-def sharing_ablation(config: Optional[SweepConfig] = None) -> List[ProtocolSeries]:
-    """DHB with and without instance sharing."""
+def _run_study(
+    study: str,
+    arms,
+    config: Optional[SweepConfig],
+    observation: Optional[Observation],
+    engine: Optional[Engine],
+) -> List[ProtocolSeries]:
     if config is None:
         config = SweepConfig()
-    all_series: List[ProtocolSeries] = []
-    for label, sharing in (("DHB (sharing)", True), ("DHB (no sharing)", False)):
-        series = ProtocolSeries(label)
-        for rate in config.rates_per_hour:
-            protocol = DHBProtocol(
-                n_segments=config.n_segments, enable_sharing=sharing
-            )
-            series.add(
-                measure_protocol(
-                    protocol, config, rate, arrival_times=arrivals_for_rate(config, rate)
-                )
-            )
-        all_series.append(series)
-    return all_series
+    if engine is None:
+        engine = Engine()
+    specs = [
+        RunSpec("ablation-series", (study, arm, config), label=f"{study}:{arm}")
+        for arm in arms
+    ]
+    return engine.run_values(specs, observation=observation)
+
+
+def heuristic_ablation(
+    config: Optional[SweepConfig] = None,
+    observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
+) -> List[ProtocolSeries]:
+    """Sweep DHB under each slot chooser (one Engine task per arm)."""
+    return _run_study("heuristic", HEURISTIC_ARMS, config, observation, engine)
+
+
+def sharing_ablation(
+    config: Optional[SweepConfig] = None,
+    observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
+) -> List[ProtocolSeries]:
+    """DHB with and without instance sharing (one Engine task per arm)."""
+    return _run_study("sharing", tuple(SHARING_ARMS), config, observation, engine)
 
 
 def slack_dial_ablation(
     config: Optional[SweepConfig] = None,
     slacks: tuple = (0, 1, 2, 4, 1_000_000),
+    observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
     """Sweep the average-vs-peak dial of the slack chooser.
 
@@ -98,23 +174,7 @@ def slack_dial_ablation(
     future work ("reduce or eliminate bandwidth peaks without increasing the
     average video bandwidth") is about.
     """
-    if config is None:
-        config = SweepConfig()
-    all_series: List[ProtocolSeries] = []
-    for slack in slacks:
-        label = "slack=inf" if slack >= 1_000_000 else f"slack={slack}"
-        series = ProtocolSeries(label)
-        for rate in config.rates_per_hour:
-            protocol = DHBProtocol(
-                n_segments=config.n_segments, chooser=make_slack_chooser(slack)
-            )
-            series.add(
-                measure_protocol(
-                    protocol, config, rate, arrival_times=arrivals_for_rate(config, rate)
-                )
-            )
-        all_series.append(series)
-    return all_series
+    return _run_study("slack", slacks, config, observation, engine)
 
 
 def peak_demonstration(

@@ -17,13 +17,15 @@ Returns per-title and total provisioned bandwidths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.tables import format_simple_table
 from ..core.dhb import DHBProtocol
 from ..errors import ConfigurationError
+from ..obs.trace import Observation
 from ..protocols.npb import pagoda_streams_for_segments
 from ..protocols.stream_tapping import StreamTappingProtocol
+from ..runtime import Engine, RunSpec
 from ..workload.popularity import ZipfCatalog
 from .config import SweepConfig
 from .runner import arrivals_for_rate, measure_protocol
@@ -85,17 +87,69 @@ class CatalogResult:
         return f"{table}\n{summary}"
 
 
+def measure_catalog_title(
+    rank: int,
+    rate: float,
+    config: SweepConfig,
+    observation: Optional[Observation] = None,
+) -> Dict[str, float]:
+    """Measure one catalog title — the ``"catalog-title"`` task handler.
+
+    Derives the per-title config (``seed + rank`` keeps title streams
+    independent but reproducible) and simulates DHB and stream tapping on
+    the same seeded arrivals.  Returns plain floats so the value pickles
+    cheaply out of pool workers.
+    """
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
+    per_title = config.replace(rates_per_hour=(rate,), seed=config.seed + rank)
+    arrivals = arrivals_for_rate(per_title, rate)
+    dhb_point = measure_protocol(
+        DHBProtocol(n_segments=config.n_segments),
+        per_title,
+        rate,
+        arrival_times=arrivals,
+        metrics=metrics,
+        trace=trace,
+        trace_context={"protocol": "dhb", "title_rank": rank, "rate_per_hour": rate},
+    )
+    tapping_point = measure_protocol(
+        StreamTappingProtocol(
+            duration=config.duration, expected_rate_per_hour=rate
+        ),
+        per_title,
+        rate,
+        arrival_times=arrivals,
+        metrics=metrics,
+        trace=trace,
+        trace_context={
+            "protocol": "stream-tapping",
+            "title_rank": rank,
+            "rate_per_hour": rate,
+        },
+    )
+    return {
+        "rank": float(rank),
+        "rate_per_hour": rate,
+        "dhb_mean": dhb_point.mean_bandwidth,
+        "tapping_mean": tapping_point.mean_bandwidth,
+    }
+
+
 def run_catalog(
     n_videos: int = 10,
     total_rate_per_hour: float = 300.0,
     theta: float = 1.0,
     config: Optional[SweepConfig] = None,
+    observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> CatalogResult:
     """Run the catalog comparison.
 
     Each title gets its own seeded Poisson stream at its Zipf share of the
-    aggregate rate; DHB and stream tapping are simulated per title, NPB's
-    cost is its fixed allocation.
+    aggregate rate; DHB and stream tapping are simulated per title (one
+    ``"catalog-title"`` Engine task per title, so titles parallelise),
+    NPB's cost is its fixed allocation.
     """
     if n_videos < 1:
         raise ConfigurationError("need >= 1 video")
@@ -103,41 +157,26 @@ def run_catalog(
         raise ConfigurationError("total rate must be > 0")
     if config is None:
         config = SweepConfig().quick(base_hours=10.0, min_requests=60)
+    if engine is None:
+        engine = Engine()
     catalog = ZipfCatalog(n_videos=n_videos, theta=theta)
     npb_streams = float(pagoda_streams_for_segments(config.n_segments))
 
-    rates: List[float] = []
-    dhb_streams: List[float] = []
-    tapping_streams: List[float] = []
-    for rank in range(n_videos):
-        rate = max(catalog.rate_for(rank, total_rate_per_hour), 0.1)
-        per_title = config.replace(
-            rates_per_hour=(rate,), seed=config.seed + rank
-        )
-        arrivals = arrivals_for_rate(per_title, rate)
-        dhb_point = measure_protocol(
-            DHBProtocol(n_segments=config.n_segments),
-            per_title,
-            rate,
-            arrival_times=arrivals,
-        )
-        tapping_point = measure_protocol(
-            StreamTappingProtocol(
-                duration=config.duration, expected_rate_per_hour=rate
-            ),
-            per_title,
-            rate,
-            arrival_times=arrivals,
-        )
-        rates.append(rate)
-        dhb_streams.append(dhb_point.mean_bandwidth)
-        tapping_streams.append(tapping_point.mean_bandwidth)
+    rates = [
+        max(catalog.rate_for(rank, total_rate_per_hour), 0.1)
+        for rank in range(n_videos)
+    ]
+    specs = [
+        RunSpec("catalog-title", (rank, rate, config), label=f"title#{rank + 1}")
+        for rank, rate in enumerate(rates)
+    ]
+    measured = engine.run_values(specs, observation=observation)
 
     return CatalogResult(
         n_videos=n_videos,
         total_rate_per_hour=total_rate_per_hour,
         per_title_rates=rates,
-        dhb_streams=dhb_streams,
-        tapping_streams=tapping_streams,
+        dhb_streams=[cell["dhb_mean"] for cell in measured],
+        tapping_streams=[cell["tapping_mean"] for cell in measured],
         npb_streams=npb_streams,
     )

@@ -12,6 +12,15 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import ConfigurationError
+from ..runtime.config import (
+    DEFAULT_BASE_HOURS,
+    DEFAULT_MIN_REQUESTS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_FRACTION,
+    QUICK_BASE_HOURS,
+    QUICK_MIN_REQUESTS,
+    QUICK_RATES_PER_HOUR,
+)
 from ..units import TWO_HOURS
 
 #: The paper's Figures 7–9 sweep request rates from 1 to 1000 per hour on a
@@ -48,10 +57,10 @@ class SweepConfig:
     duration: float = TWO_HOURS
     n_segments: int = 99
     rates_per_hour: Tuple[float, ...] = PAPER_RATES
-    base_hours: float = 40.0
-    min_requests: int = 400
-    warmup_fraction: float = 0.1
-    seed: int = 2001
+    base_hours: float = DEFAULT_BASE_HOURS
+    min_requests: int = DEFAULT_MIN_REQUESTS
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+    seed: int = DEFAULT_SEED
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -86,9 +95,9 @@ class SweepConfig:
         Keyword overrides are applied on top of the quick defaults.
         """
         quick_defaults = dict(
-            rates_per_hour=(2.0, 50.0, 500.0),
-            base_hours=6.0,
-            min_requests=40,
+            rates_per_hour=QUICK_RATES_PER_HOUR,
+            base_hours=QUICK_BASE_HOURS,
+            min_requests=QUICK_MIN_REQUESTS,
         )
         quick_defaults.update(overrides)
         return self.replace(**quick_defaults)

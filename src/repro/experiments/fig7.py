@@ -22,6 +22,7 @@ from typing import List, Optional
 from ..analysis.metrics import ProtocolSeries
 from ..analysis.tables import format_series_table
 from ..obs.trace import Observation
+from ..runtime import Engine
 from .config import SweepConfig
 from .runner import sweep_protocols
 
@@ -37,18 +38,23 @@ FIG7_PROTOCOLS = (
 def run_fig7(
     config: Optional[SweepConfig] = None,
     observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
     """Regenerate Figure 7's four series.
 
     Returns one :class:`~repro.analysis.metrics.ProtocolSeries` per
     protocol, in legend order.  ``observation`` threads a metrics registry
-    and optional per-slot trace sink through every measured point.
+    and optional per-slot trace sink through every measured point;
+    ``engine`` runs the grid on an existing runtime Engine (parallelism,
+    caching).
     """
     if config is None:
         config = SweepConfig()
     names = [name for name, _ in FIG7_PROTOCOLS]
     labels = [label for _, label in FIG7_PROTOCOLS]
-    return sweep_protocols(names, config, labels, observation=observation)
+    return sweep_protocols(
+        names, config, labels, observation=observation, engine=engine
+    )
 
 
 def report_fig7(series: List[ProtocolSeries]) -> str:

@@ -16,6 +16,7 @@ from typing import List, Optional
 from ..analysis.metrics import ProtocolSeries
 from ..analysis.tables import format_series_table
 from ..obs.trace import Observation
+from ..runtime import Engine
 from .config import SweepConfig
 from .runner import sweep_protocols
 
@@ -30,13 +31,16 @@ FIG8_PROTOCOLS = (
 def run_fig8(
     config: Optional[SweepConfig] = None,
     observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
-    """Regenerate Figure 8's three series."""
+    """Regenerate Figure 8's three series (optionally on a shared Engine)."""
     if config is None:
         config = SweepConfig()
     names = [name for name, _ in FIG8_PROTOCOLS]
     labels = [label for _, label in FIG8_PROTOCOLS]
-    return sweep_protocols(names, config, labels, observation=observation)
+    return sweep_protocols(
+        names, config, labels, observation=observation, engine=engine
+    )
 
 
 def report_fig8(series: List[ProtocolSeries]) -> str:

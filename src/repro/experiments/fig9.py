@@ -31,6 +31,7 @@ from ..analysis.tables import format_series_table
 from ..core.variants import make_all_variants
 from ..obs.trace import Observation
 from ..protocols.ud import UniversalDistributionProtocol
+from ..runtime import Engine, RunSpec
 from ..units import MEGABYTE, MINUTE
 from ..video.matrix import matrix_like_video
 from ..video.segmentation import segments_for_wait
@@ -40,6 +41,9 @@ from .runner import arrivals_for_rate, measure_protocol
 
 #: Maximum waiting time of the Section 4 case study: one minute.
 FIG9_MAX_WAIT = MINUTE
+
+#: Series names in legend order: UD, then the four DHB implementations.
+FIG9_SERIES = ("UD", "DHB-a", "DHB-b", "DHB-c", "DHB-d")
 
 
 def fig9_config(config: Optional[SweepConfig] = None, video: Optional[VBRVideo] = None):
@@ -53,59 +57,80 @@ def fig9_config(config: Optional[SweepConfig] = None, video: Optional[VBRVideo] 
     return config, video
 
 
+def measure_fig9_series(
+    series_name: str,
+    config: SweepConfig,
+    video: Optional[VBRVideo] = None,
+    observation: Optional[Observation] = None,
+) -> ProtocolSeries:
+    """Measure one Figure-9 series — the ``"fig9-series"`` task handler.
+
+    ``config`` must already carry the video's duration/segment count (see
+    :func:`fig9_config`); ``video=None`` rebuilds the deterministic
+    Matrix-calibrated trace, which is how specs stay small enough to ship
+    to pool workers.  Every rate point builds a fresh protocol, so one
+    series is a pure function of ``(series_name, config, video)``.
+    """
+    if video is None:
+        video = matrix_like_video()
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
+    series = ProtocolSeries(series_name)
+    if series_name == "UD":
+        stream_rate = video.peak_bandwidth(window_seconds=1)
+        slot_duration = FIG9_MAX_WAIT
+
+        def build_protocol():
+            return UniversalDistributionProtocol(n_segments=config.n_segments)
+
+    else:
+        variant = make_all_variants(video, FIG9_MAX_WAIT)[series_name]
+        stream_rate = variant.stream_rate
+        slot_duration = variant.slot_duration
+        build_protocol = variant.build_protocol
+    for rate in config.rates_per_hour:
+        series.add(
+            measure_protocol(
+                build_protocol(),
+                config,
+                rate,
+                arrival_times=arrivals_for_rate(config, rate),
+                stream_bandwidth=stream_rate,
+                slot_duration=slot_duration,
+                metrics=metrics,
+                trace=trace,
+                trace_context={"protocol": series_name, "rate_per_hour": rate},
+            )
+        )
+    return series
+
+
 def run_fig9(
     config: Optional[SweepConfig] = None,
     video: Optional[VBRVideo] = None,
     observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
     """Regenerate Figure 9's five series (bandwidths in bytes/second).
 
+    Each series is one ``"fig9-series"`` spec on the runtime Engine, so
+    the five series parallelise across workers when the Engine has them.
     ``observation`` threads the metrics registry and optional per-slot
-    trace sink through every measured point (this sweep runs serially, so
-    records land in sweep order).
+    trace sink through every measured point; records arrive in task order
+    (all of UD's rates, then DHB-a's, ...), merged identically in serial
+    and pooled runs.
     """
-    config, video = fig9_config(config, video)
-    variants = make_all_variants(video, FIG9_MAX_WAIT)
-    peak_rate = video.peak_bandwidth(window_seconds=1)
-    metrics = observation.metrics if observation is not None else None
-    trace = observation.trace if observation is not None else None
-
-    all_series: List[ProtocolSeries] = [ProtocolSeries("UD")]
-    for name in ("DHB-a", "DHB-b", "DHB-c", "DHB-d"):
-        all_series.append(ProtocolSeries(name))
-
-    for rate in config.rates_per_hour:
-        arrivals = arrivals_for_rate(config, rate)
-        ud = UniversalDistributionProtocol(n_segments=config.n_segments)
-        all_series[0].add(
-            measure_protocol(
-                ud,
-                config,
-                rate,
-                arrival_times=arrivals,
-                stream_bandwidth=peak_rate,
-                slot_duration=FIG9_MAX_WAIT,
-                metrics=metrics,
-                trace=trace,
-                trace_context={"protocol": "UD", "rate_per_hour": rate},
-            )
-        )
-        for index, name in enumerate(("DHB-a", "DHB-b", "DHB-c", "DHB-d")):
-            variant = variants[name]
-            all_series[index + 1].add(
-                measure_protocol(
-                    variant.build_protocol(),
-                    config,
-                    rate,
-                    arrival_times=arrivals,
-                    stream_bandwidth=variant.stream_rate,
-                    slot_duration=variant.slot_duration,
-                    metrics=metrics,
-                    trace=trace,
-                    trace_context={"protocol": name, "rate_per_hour": rate},
-                )
-            )
-    return all_series
+    config, resolved_video = fig9_config(config, video)
+    # A default (None) video stays None in the payload: workers rebuild
+    # the deterministic Matrix trace instead of unpickling 8170 samples.
+    payload_video = None if video is None else resolved_video
+    if engine is None:
+        engine = Engine()
+    specs = [
+        RunSpec("fig9-series", (name, config, payload_video), label=name)
+        for name in FIG9_SERIES
+    ]
+    return engine.run_values(specs, observation=observation)
 
 
 def report_fig9(series: List[ProtocolSeries]) -> str:

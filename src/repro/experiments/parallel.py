@@ -1,39 +1,35 @@
-"""Parallel execution of protocol sweeps.
+"""Parallel sweep execution — **deprecated shim** over :mod:`repro.runtime`.
 
-A figure-style sweep is an embarrassingly parallel grid: every
-``(protocol, rate)`` point builds a fresh protocol, replays the seeded
-common-random-numbers trace for its rate, and reduces to one
-:class:`~repro.analysis.metrics.BandwidthPoint`.  No point reads another's
-state, so the grid fans out across a :class:`concurrent.futures.ProcessPoolExecutor`
-with **bit-for-bit** the serial results: each worker re-derives the same
-seeded trace from ``(config.seed, rate)`` and runs the identical measurement
-code, and the parent reassembles points in task order.
-
-Worker count resolution, in priority order:
-
-1. the explicit ``n_jobs`` argument (``-1`` means "all cores"),
-2. the ``REPRO_SWEEP_JOBS`` environment variable,
-3. serial execution (``n_jobs = 1``).
-
-Serial execution never touches the pool machinery, and any failure to spawn
-a pool (restricted environments, missing semaphores) degrades to the serial
-path rather than failing the sweep.
+.. deprecated::
+    This module predates the unified execution runtime.  The process pool,
+    worker-count resolution, and observability merging now live in
+    :mod:`repro.runtime` (:class:`~repro.runtime.engine.Engine`,
+    :func:`~repro.runtime.config.resolve_n_jobs`); new code should build
+    ``RunSpec`` batches and run them through an Engine directly, or call
+    :func:`repro.experiments.runner.sweep_protocols`.  The names below are
+    kept importable and bit-for-bit compatible with the pre-runtime
+    behaviour (same ``REPRO_SWEEP_JOBS`` contract, same task-order merge
+    discipline), and the equivalence tests in ``tests/runtime`` pin that.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from ..analysis.metrics import BandwidthPoint, ProtocolSeries
-from ..errors import ConfigurationError
-from ..obs.registry import MetricsRegistry
-from ..obs.trace import MemoryTraceSink, Observation
-from ..protocols.registry import ProtocolContext, build_protocol
+from ..obs.trace import Observation
+from ..runtime import Engine, RunSpec
+from ..runtime.config import N_JOBS_ENV, resolve_n_jobs
+from ..runtime.tasks import execute_spec
 from .config import SweepConfig
 
-#: Environment variable consulted when ``n_jobs`` is not given explicitly.
-N_JOBS_ENV = "REPRO_SWEEP_JOBS"
+__all__ = [
+    "N_JOBS_ENV",
+    "ObservedCell",
+    "ParallelSweepExecutor",
+    "SweepPoint",
+    "resolve_n_jobs",
+]
 
 
 class SweepPoint(NamedTuple):
@@ -43,55 +39,21 @@ class SweepPoint(NamedTuple):
     label: str
     rate_per_hour: float
 
-
-def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
-    """Resolve the worker count from the argument or :data:`N_JOBS_ENV`.
-
-    ``None`` falls through to the environment variable, then to ``1``
-    (serial).  Negative values mean "all available cores".
-    """
-    if n_jobs is None:
-        raw = os.environ.get(N_JOBS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            n_jobs = int(raw)
-        except ValueError:
-            raise ConfigurationError(
-                f"{N_JOBS_ENV}={raw!r} is not an integer"
-            ) from None
-    if n_jobs == 0:
-        raise ConfigurationError("n_jobs must be >= 1 or negative (all cores)")
-    if n_jobs < 0:
-        return os.cpu_count() or 1
-    return n_jobs
-
-
-def _measure_point(point: SweepPoint, config: SweepConfig) -> BandwidthPoint:
-    """Measure one grid cell (top-level so worker processes can unpickle it)."""
-    from .runner import arrivals_for_rate, measure_protocol
-
-    context = ProtocolContext(
-        n_segments=config.n_segments,
-        duration=config.duration,
-        rate_per_hour=point.rate_per_hour,
-    )
-    protocol = build_protocol(point.name, context)
-    return measure_protocol(
-        protocol,
-        config,
-        point.rate_per_hour,
-        arrival_times=arrivals_for_rate(config, point.rate_per_hour),
-    )
+    def to_spec(self, config: SweepConfig) -> RunSpec:
+        """The runtime spec measuring this point under ``config``."""
+        return RunSpec(
+            "sweep-point",
+            (self.name, self.label, self.rate_per_hour, config),
+            label=self.label,
+        )
 
 
 class ObservedCell(NamedTuple):
     """One observed grid cell: the point plus its portable observability state.
 
-    ``metrics`` is a :meth:`~repro.obs.registry.MetricsRegistry.to_dict`
-    snapshot and ``trace`` a list of plain record dicts — both picklable and
-    JSON-safe, so cells cross process boundaries unchanged and the parent
-    can merge them deterministically in task order.
+    Kept for pre-runtime callers; the runtime's
+    :class:`~repro.runtime.spec.RunResult` carries the same fields for any
+    task kind.
     """
 
     point: BandwidthPoint
@@ -99,44 +61,12 @@ class ObservedCell(NamedTuple):
     trace: List[Dict]
 
 
-def _measure_point_observed(
-    point: SweepPoint, config: SweepConfig, want_trace: bool
-) -> ObservedCell:
-    """Measure one grid cell under a fresh, cell-local registry/sink."""
-    from .runner import arrivals_for_rate, measure_protocol
-
-    context = ProtocolContext(
-        n_segments=config.n_segments,
-        duration=config.duration,
-        rate_per_hour=point.rate_per_hour,
-    )
-    protocol = build_protocol(point.name, context)
-    registry = MetricsRegistry()
-    sink = MemoryTraceSink() if want_trace else None
-    bandwidth_point = measure_protocol(
-        protocol,
-        config,
-        point.rate_per_hour,
-        arrival_times=arrivals_for_rate(config, point.rate_per_hour),
-        metrics=registry,
-        trace=sink,
-        trace_context={"protocol": point.label, "rate_per_hour": point.rate_per_hour},
-    )
-    return ObservedCell(
-        point=bandwidth_point,
-        metrics=registry.to_dict(),
-        trace=sink.records if sink is not None else [],
-    )
-
-
 class ParallelSweepExecutor:
-    """Fans sweep grid points across a process pool.
+    """Fans sweep grid points across the runtime Engine (deprecated).
 
-    Parameters
-    ----------
-    n_jobs:
-        Worker processes; see :func:`resolve_n_jobs` for ``None`` / negative
-        semantics.  ``1`` runs everything in-process (no pool, no pickling).
+    A construction-time ``n_jobs`` is resolved once (explicit argument,
+    then ``REPRO_SWEEP_JOBS``, then serial) and reused for every batch,
+    exactly as before the runtime existed.
 
     Examples
     --------
@@ -148,7 +78,8 @@ class ParallelSweepExecutor:
     """
 
     def __init__(self, n_jobs: Optional[int] = None):
-        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.engine = Engine(n_jobs=n_jobs)
+        self.n_jobs = self.engine.n_jobs
 
     def measure_points(
         self,
@@ -158,60 +89,25 @@ class ParallelSweepExecutor:
     ) -> List[BandwidthPoint]:
         """Measure every grid point, preserving input order.
 
-        The parallel path produces exactly the serial path's numbers: the
-        per-point computation is deterministic in ``(point, config)`` and
-        carries no cross-point state.  With an ``observation``, every cell
-        runs under its own registry (and in-memory trace buffer when the
-        observation has a sink); the parent merges registries and re-emits
-        trace records **in task order**, so the merged observability state
-        is identical however the cells were scheduled.
+        Delegates to :meth:`Engine.run`, which keeps the pre-runtime
+        contract: parallel results (and merged observability state) are
+        bit-for-bit identical to serial ones.
         """
-        if observation is not None:
-            cells = self._measure_cells(points, config, observation.trace is not None)
-            for cell in cells:
-                observation.metrics.merge_dict(cell.metrics)
-                if observation.trace is not None:
-                    for record in cell.trace:
-                        observation.trace.emit(record)
-            return [cell.point for cell in cells]
-        if self.n_jobs == 1 or len(points) <= 1:
-            return [_measure_point(point, config) for point in points]
-        from concurrent.futures import ProcessPoolExecutor
-
-        workers = min(self.n_jobs, len(points))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_measure_point, point, config) for point in points
-                ]
-                return [future.result() for future in futures]
-        except (OSError, PermissionError):
-            # Pools need fork/spawn and semaphores; fall back to serial in
-            # environments that forbid them rather than failing the sweep.
-            return [_measure_point(point, config) for point in points]
+        specs = [point.to_spec(config) for point in points]
+        return self.engine.run_values(specs, observation=observation)
 
     def _measure_cells(
         self, points: Sequence[SweepPoint], config: SweepConfig, want_trace: bool
     ) -> List[ObservedCell]:
-        """The observed twin of the grid fan-out (same pool semantics)."""
-        if self.n_jobs == 1 or len(points) <= 1:
-            return [
-                _measure_point_observed(point, config, want_trace) for point in points
-            ]
-        from concurrent.futures import ProcessPoolExecutor
+        """The observed twin of the grid fan-out (pre-runtime signature)."""
+        from ..runtime.pool import run_ordered
 
-        workers = min(self.n_jobs, len(points))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_measure_point_observed, point, config, want_trace)
-                    for point in points
-                ]
-                return [future.result() for future in futures]
-        except (OSError, PermissionError):
-            return [
-                _measure_point_observed(point, config, want_trace) for point in points
-            ]
+        tasks = [(point.to_spec(config), True, want_trace) for point in points]
+        results = run_ordered(execute_spec, tasks, self.n_jobs)
+        return [
+            ObservedCell(point=result.value, metrics=result.metrics, trace=result.trace)
+            for result in results
+        ]
 
     def sweep(
         self,
@@ -222,28 +118,11 @@ class ParallelSweepExecutor:
     ) -> List[ProtocolSeries]:
         """Sweep registry protocols over every configured rate.
 
-        The (protocol × rate) grid is flattened into independent points,
-        measured (possibly out of order, across processes), and reassembled
-        into one :class:`~repro.analysis.metrics.ProtocolSeries` per
-        protocol in the caller's order.  ``observation`` threads a metrics
-        registry (and optional trace sink) through every cell; see
-        :meth:`measure_points`.
+        Thin wrapper over :func:`repro.experiments.runner.sweep_protocols`
+        running on this executor's Engine.
         """
-        if labels is None:
-            labels = list(names)
-        if len(labels) != len(names):
-            raise ConfigurationError("labels must parallel names")
-        points = [
-            SweepPoint(name, label, rate)
-            for name, label in zip(names, labels)
-            for rate in config.rates_per_hour
-        ]
-        measured = self.measure_points(points, config, observation=observation)
-        n_rates = len(config.rates_per_hour)
-        all_series: List[ProtocolSeries] = []
-        for position, label in enumerate(labels):
-            series = ProtocolSeries(protocol=label)
-            for bandwidth_point in measured[position * n_rates : (position + 1) * n_rates]:
-                series.add(bandwidth_point)
-            all_series.append(series)
-        return all_series
+        from .runner import sweep_protocols
+
+        return sweep_protocols(
+            names, config, labels, observation=observation, engine=self.engine
+        )

@@ -9,7 +9,6 @@ sees the *same* arrival trace (common random numbers).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -17,30 +16,27 @@ import numpy as np
 
 from ..analysis.metrics import BandwidthPoint, ProtocolSeries
 from ..errors import ConfigurationError
-from ..obs.manifest import ManifestRecorder, RunManifest
+from ..obs.manifest import RunManifest
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Observation, TraceSink
+from ..runtime import Engine, RunSpec, observed_run
+from ..runtime.cache import clear_cache
+from ..runtime.seeds import arrival_trace, replication_seed
 from ..sim.continuous import ContinuousSimulation, ReactiveModel
-from ..sim.rng import RandomStreams
 from ..sim.slotted import SlottedModel, SlottedSimulation
-from ..workload.arrivals import PoissonArrivals
 from .config import SweepConfig
 
 AnyProtocol = Union[SlottedModel, ReactiveModel]
 ProtocolFactory = Callable[[float], AnyProtocol]
 
 
-#: Memoised common-random-numbers traces, keyed (seed, rate, horizon hours).
-#: A multi-protocol sweep visits each key once per *protocol*; the cache
-#: makes every visit after the first free.  Entries are marked read-only so
-#: sharing one array across protocols can never leak state between them.
-_TRACE_CACHE: "OrderedDict[Tuple[int, float, float], np.ndarray]" = OrderedDict()
-_TRACE_CACHE_MAX = 64
-
-
 def clear_trace_cache() -> None:
-    """Drop every memoised arrival trace (tests and memory-sensitive callers)."""
-    _TRACE_CACHE.clear()
+    """Drop every memoised arrival trace (tests and memory-sensitive callers).
+
+    Alias of :func:`repro.runtime.clear_cache`, kept for the pre-runtime
+    call sites.
+    """
+    clear_cache()
 
 
 def arrivals_for_rate(
@@ -49,22 +45,13 @@ def arrivals_for_rate(
     """The seeded arrival trace every protocol shares at ``rate_per_hour``.
 
     Deterministic in ``(config.seed, rate_per_hour, horizon)`` and memoised
-    on exactly that key, so repeated calls — one per protocol in a sweep —
-    return the same (read-only) array without regenerating it.
+    on exactly that key in the runtime's bounded shared cache
+    (:mod:`repro.runtime.cache`), so repeated calls — one per protocol in a
+    sweep — return the same (read-only) array without regenerating it.
     """
-    horizon_hours = config.horizon_hours(rate_per_hour)
-    key = (config.seed, float(rate_per_hour), horizon_hours)
-    cached = _TRACE_CACHE.get(key)
-    if cached is not None:
-        _TRACE_CACHE.move_to_end(key)
-        return cached
-    rng = RandomStreams(config.seed).get(f"arrivals@{rate_per_hour:g}")
-    trace = PoissonArrivals(rate_per_hour).generate(horizon_hours * 3600.0, rng)
-    trace.setflags(write=False)
-    _TRACE_CACHE[key] = trace
-    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
-        _TRACE_CACHE.popitem(last=False)
-    return trace
+    return arrival_trace(
+        config.seed, rate_per_hour, config.horizon_hours(rate_per_hour)
+    )
 
 
 def measure_protocol(
@@ -170,6 +157,41 @@ def measure_protocol(
     )
 
 
+def measure_sweep_point(
+    name: str,
+    label: str,
+    rate_per_hour: float,
+    config: SweepConfig,
+    observation: Optional[Observation] = None,
+) -> BandwidthPoint:
+    """Measure one sweep grid cell — the ``"sweep-point"`` task handler.
+
+    Builds a fresh registry protocol for ``(name, rate)`` under the shared
+    seeded arrival trace and reduces it to one
+    :class:`~repro.analysis.metrics.BandwidthPoint`.  This is the unit of
+    work :func:`sweep_protocols` fans across the runtime Engine.
+    """
+    from ..protocols.registry import ProtocolContext, build_protocol
+
+    context = ProtocolContext(
+        n_segments=config.n_segments,
+        duration=config.duration,
+        rate_per_hour=rate_per_hour,
+    )
+    protocol = build_protocol(name, context)
+    metrics = observation.metrics if observation is not None else None
+    trace = observation.trace if observation is not None else None
+    return measure_protocol(
+        protocol,
+        config,
+        rate_per_hour,
+        arrival_times=arrivals_for_rate(config, rate_per_hour),
+        metrics=metrics,
+        trace=trace,
+        trace_context={"protocol": label, "rate_per_hour": rate_per_hour},
+    )
+
+
 def sweep_factory(
     label: str,
     factory: ProtocolFactory,
@@ -249,7 +271,9 @@ def replicate_measurement(
         raise ConfigurationError("need >= 2 replications for an interval")
     means: List[float] = []
     for replication in range(n_replications):
-        replication_config = config.replace(seed=config.seed + 7919 * (replication + 1))
+        replication_config = config.replace(
+            seed=replication_seed(config.seed, replication)
+        )
         point = measure_protocol(
             factory(rate_per_hour),
             replication_config,
@@ -268,14 +292,54 @@ def replicate_measurement(
     )
 
 
+def sweep_grid(
+    names: Sequence[str],
+    config: SweepConfig,
+    labels: Optional[Sequence[str]] = None,
+) -> List[RunSpec]:
+    """The sweep's (protocol × rate) grid as runtime specs, in sweep order."""
+    if labels is None:
+        labels = list(names)
+    if len(labels) != len(names):
+        raise ConfigurationError("labels must parallel names")
+    return [
+        RunSpec("sweep-point", (name, label, rate, config), label=label)
+        for name, label in zip(names, labels)
+        for rate in config.rates_per_hour
+    ]
+
+
+def assemble_series(
+    labels: Sequence[str],
+    rates: Sequence[float],
+    measured: Sequence[BandwidthPoint],
+) -> List[ProtocolSeries]:
+    """Fold a flat grid of measured points back into per-protocol series."""
+    n_rates = len(rates)
+    all_series: List[ProtocolSeries] = []
+    for position, label in enumerate(labels):
+        series = ProtocolSeries(protocol=label)
+        for point in measured[position * n_rates : (position + 1) * n_rates]:
+            series.add(point)
+        all_series.append(series)
+    return all_series
+
+
 def sweep_protocols(
     names: Sequence[str],
     config: SweepConfig,
     labels: Optional[Sequence[str]] = None,
     n_jobs: Optional[int] = None,
     observation: Optional[Observation] = None,
+    engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
     """Sweep several registry protocols under common random numbers.
+
+    The (protocol × rate) grid is flattened into independent
+    ``"sweep-point"`` specs, executed through the runtime Engine (possibly
+    out of order, across processes), and reassembled into one
+    :class:`~repro.analysis.metrics.ProtocolSeries` per protocol in the
+    caller's order.
 
     Parameters
     ----------
@@ -290,18 +354,23 @@ def sweep_protocols(
         Worker processes for the sweep grid; ``None`` defers to the
         ``REPRO_SWEEP_JOBS`` environment variable, defaulting to serial.
         Parallel runs reproduce the serial series bit-for-bit (see
-        :mod:`repro.experiments.parallel`).
+        :mod:`repro.runtime.engine`).  Ignored when ``engine`` is given.
     observation:
         Optional :class:`~repro.obs.trace.Observation`.  Worker registries
         are merged into ``observation.metrics`` in task order, and per-slot
         records are re-emitted to ``observation.trace``, so parallel runs
         report exactly the serial metrics too.
+    engine:
+        An existing :class:`~repro.runtime.engine.Engine` to run on
+        (entry points that execute several studies share one).
     """
-    from .parallel import ParallelSweepExecutor
-
-    return ParallelSweepExecutor(n_jobs=n_jobs).sweep(
-        names, config, labels, observation=observation
-    )
+    if labels is None:
+        labels = list(names)
+    if engine is None:
+        engine = Engine(n_jobs=n_jobs)
+    specs = sweep_grid(names, config, labels)
+    measured = engine.run_values(specs, observation=observation)
+    return assemble_series(labels, config.rates_per_hour, measured)
 
 
 @dataclass
@@ -336,9 +405,10 @@ def observed_sweep(
 ) -> SweepRun:
     """Run :func:`sweep_protocols` under full observability.
 
-    Creates a fresh registry, threads it (plus the optional trace sink)
-    through every measured point, and attaches a completed manifest to the
-    result.
+    Opens the runtime's standard observability session
+    (:func:`repro.runtime.observed_run`): a fresh registry plus the
+    optional trace sink threaded through every measured point, and a
+    completed manifest attached to the result.
 
     >>> run = observed_sweep(["npb"], SweepConfig().quick(
     ...     rates_per_hour=(30.0,), base_hours=2.0, min_requests=10))
@@ -349,15 +419,16 @@ def observed_sweep(
     """
     if labels is None:
         labels = list(names)
-    registry = MetricsRegistry()
-    observation = Observation(metrics=registry, trace=trace)
-    with ManifestRecorder(
+    with observed_run(
         experiment,
         protocols=labels,
         params=asdict(config),
         seed=config.seed,
-    ) as recorder:
+        trace=trace,
+    ) as observed:
         series = sweep_protocols(
-            names, config, labels, n_jobs=n_jobs, observation=observation
+            names, config, labels, n_jobs=n_jobs, observation=observed.observation
         )
-    return SweepRun(series=series, manifest=recorder.manifest, metrics=registry)
+    return SweepRun(
+        series=series, manifest=observed.manifest, metrics=observed.metrics
+    )

@@ -1,0 +1,71 @@
+"""repro.runtime — the unified execution core.
+
+One pipeline under every entry point::
+
+    RunSpec  --Engine-->  RunResult
+      |                      |
+      seeds (deterministic derivation)   observability (merged in task order)
+      cache (bounded shared LRU)         pool (the one process pool)
+
+Figure sweeps, cluster scenario batches, ablations, the catalog study, the
+CLI, and the benches all describe their work as :class:`RunSpec` batches
+and execute them through one :class:`Engine`, which provides parallelism
+(``REPRO_SWEEP_JOBS`` / ``n_jobs``), bounded trace caching, deterministic
+seed derivation, and uniform metrics/manifest/trace threading — bit-for-bit
+identical results in serial and pooled modes.
+
+See ``docs/ARCHITECTURE.md`` for the layering diagram and the migration
+notes for the pre-runtime entry points
+(:mod:`repro.experiments.parallel` is now a thin shim over this package).
+"""
+
+from .cache import (
+    ARRIVAL_CACHE,
+    CacheInfo,
+    LRUCache,
+    cache_info,
+    clear_cache,
+    configure_cache,
+    record_cache_metrics,
+)
+from .config import (
+    DEFAULT_CONFIG,
+    DEFAULT_SEED,
+    N_JOBS_ENV,
+    TRACE_CACHE_ENV,
+    RuntimeConfig,
+    resolve_n_jobs,
+)
+from .engine import Engine
+from .observing import ObservedRun, observed_run
+from .seeds import arrival_trace, derive_stream, replication_seed
+from .spec import RunResult, RunSpec
+from .tasks import BUILTIN_KINDS, execute_spec, register_kind, resolve_kind
+
+__all__ = [
+    "ARRIVAL_CACHE",
+    "BUILTIN_KINDS",
+    "CacheInfo",
+    "DEFAULT_CONFIG",
+    "DEFAULT_SEED",
+    "Engine",
+    "LRUCache",
+    "N_JOBS_ENV",
+    "ObservedRun",
+    "RunResult",
+    "RunSpec",
+    "RuntimeConfig",
+    "TRACE_CACHE_ENV",
+    "arrival_trace",
+    "cache_info",
+    "clear_cache",
+    "configure_cache",
+    "derive_stream",
+    "execute_spec",
+    "observed_run",
+    "record_cache_metrics",
+    "register_kind",
+    "replication_seed",
+    "resolve_kind",
+    "resolve_n_jobs",
+]

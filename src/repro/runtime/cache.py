@@ -1,0 +1,129 @@
+"""The bounded shared result/trace cache (LRU, introspectable).
+
+One process-wide :class:`LRUCache` memoises the seeded arrival traces every
+entry point shares (see :mod:`repro.runtime.seeds`).  Unlike the unbounded
+dict it replaces, the cache evicts least-recently-used entries beyond a
+configurable bound (``REPRO_TRACE_CACHE_SIZE`` / ``RuntimeConfig``), so
+long multi-figure sweeps hold a flat amount of trace memory.
+
+:func:`cache_info` exposes hit/miss/size counters in the style of
+``functools.lru_cache``; :func:`record_cache_metrics` copies them into a
+:class:`~repro.obs.registry.MetricsRegistry` as gauges for callers that
+want cache behaviour in their metrics documents.  The Engine does **not**
+attach them automatically: cache hits differ between serial runs (one
+process, warm cache) and pooled runs (cold per-worker caches), and the
+merged observability state must stay bit-for-bit identical across the two.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, NamedTuple, Optional
+
+from .config import DEFAULT_CONFIG
+
+
+class CacheInfo(NamedTuple):
+    """Point-in-time cache statistics (``functools.lru_cache`` style)."""
+
+    hits: int
+    misses: int
+    size: int
+    max_entries: int
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    >>> cache = LRUCache(max_entries=2)
+    >>> cache.get_or_create("a", lambda: 1)
+    1
+    >>> cache.get_or_create("b", lambda: 2)
+    2
+    >>> cache.get_or_create("a", lambda: -1)    # hit: factory not called
+    1
+    >>> cache.get_or_create("c", lambda: 3)     # evicts "b" (least recent)
+    3
+    >>> cache.info()
+    CacheInfo(hits=1, misses=3, size=2, max_entries=2)
+    """
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        if self.max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, creating it via ``factory`` on miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self._misses += 1
+        entry = self._entries[key] = factory()
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def resize(self, max_entries: int) -> None:
+        """Change the bound, evicting oldest entries if now over it."""
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/size counters."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+
+#: The process-wide arrival-trace cache, bounded per the runtime config.
+ARRIVAL_CACHE = LRUCache(DEFAULT_CONFIG.resolve_trace_cache_size())
+
+
+def cache_info() -> CacheInfo:
+    """Statistics of the shared arrival-trace cache (``runtime.cache_info()``)."""
+    return ARRIVAL_CACHE.info()
+
+
+def clear_cache() -> None:
+    """Drop every memoised arrival trace (tests, memory-sensitive callers)."""
+    ARRIVAL_CACHE.clear()
+
+
+def configure_cache(max_entries: Optional[int] = None) -> None:
+    """Re-bound the shared cache (``None`` re-reads config/environment)."""
+    ARRIVAL_CACHE.resize(DEFAULT_CONFIG.resolve_trace_cache_size(max_entries))
+
+
+def record_cache_metrics(metrics) -> None:
+    """Publish :func:`cache_info` as ``runtime.cache.*`` gauges.
+
+    Opt-in: see the module docstring for why the Engine never calls this
+    on the observation it merges worker state into.
+    """
+    info = cache_info()
+    metrics.gauge("runtime.cache.hits").set(info.hits)
+    metrics.gauge("runtime.cache.misses").set(info.misses)
+    metrics.gauge("runtime.cache.size").set(info.size)
+    metrics.gauge("runtime.cache.max_entries").set(info.max_entries)

@@ -1,0 +1,141 @@
+"""Runtime knobs, consolidated: one place reads the environment.
+
+Every execution-layer setting — worker counts, the arrival-trace cache
+bound, the default sweep horizons — lives here, with one documented
+precedence chain::
+
+    environment variable  <  RuntimeConfig field  <  explicit argument
+
+i.e. an explicit function argument always wins, an unset argument falls
+back to the :class:`RuntimeConfig` object in play, and an unset config
+field falls back to the environment (then to the baked-in default).
+Before this module existed, ``experiments.parallel.resolve_n_jobs`` and
+the cluster scenario pool each read ``REPRO_SWEEP_JOBS`` independently;
+now both route through :meth:`RuntimeConfig.resolve_n_jobs`.
+
+Environment variables
+---------------------
+``REPRO_SWEEP_JOBS``
+    Worker processes for any :class:`~repro.runtime.engine.Engine` fan-out
+    (``-1`` means "all cores"; unset means serial).
+``REPRO_TRACE_CACHE_SIZE``
+    Maximum entries kept by the shared arrival-trace cache
+    (:mod:`repro.runtime.cache`); default 64.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+#: Environment variable naming the default Engine worker count.
+N_JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+#: Environment variable bounding the shared arrival-trace cache.
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE_SIZE"
+
+#: Serial execution when neither argument, config, nor environment say more.
+DEFAULT_N_JOBS = 1
+
+#: Default bound on the shared (seed, rate, horizon) arrival-trace cache.
+DEFAULT_TRACE_CACHE_SIZE = 64
+
+# -- default sweep horizons (shared by SweepConfig and the CLI) ------------
+
+#: Minimum simulated hours per sweep point (paper-scale runs).
+DEFAULT_BASE_HOURS = 40.0
+
+#: Minimum simulated requests per sweep point (horizons stretch at low rates).
+DEFAULT_MIN_REQUESTS = 400
+
+#: Leading fraction of every horizon discarded as warmup.
+DEFAULT_WARMUP_FRACTION = 0.1
+
+#: The repository-wide default workload seed (the paper's publication year).
+DEFAULT_SEED = 2001
+
+#: ``SweepConfig.quick()`` horizons: rates, base hours, minimum requests.
+QUICK_RATES_PER_HOUR = (2.0, 50.0, 500.0)
+QUICK_BASE_HOURS = 6.0
+QUICK_MIN_REQUESTS = 40
+
+
+def _env_int(name: str) -> Optional[int]:
+    """The environment variable as an int, ``None`` when unset/empty."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name}={raw!r} is not an integer") from None
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution settings for one :class:`~repro.runtime.engine.Engine`.
+
+    Unset fields (``None``) defer to the environment, then to the defaults
+    above; see the module docstring for the full precedence chain.
+
+    >>> RuntimeConfig(n_jobs=2).resolve_n_jobs()
+    2
+    >>> RuntimeConfig(n_jobs=2).resolve_n_jobs(3)   # explicit argument wins
+    3
+    """
+
+    n_jobs: Optional[int] = None
+    trace_cache_size: Optional[int] = None
+
+    def resolve_n_jobs(self, explicit: Optional[int] = None) -> int:
+        """The effective worker count (explicit > config > env > serial).
+
+        Negative values mean "all available cores"; zero is rejected.
+        """
+        value = explicit
+        if value is None:
+            value = self.n_jobs
+        if value is None:
+            value = _env_int(N_JOBS_ENV)
+        if value is None:
+            return DEFAULT_N_JOBS
+        value = int(value)
+        if value == 0:
+            raise ConfigurationError("n_jobs must be >= 1 or negative (all cores)")
+        if value < 0:
+            return os.cpu_count() or 1
+        return value
+
+    def resolve_trace_cache_size(self, explicit: Optional[int] = None) -> int:
+        """The effective arrival-trace cache bound (>= 1)."""
+        value = explicit
+        if value is None:
+            value = self.trace_cache_size
+        if value is None:
+            value = _env_int(TRACE_CACHE_ENV)
+        if value is None:
+            return DEFAULT_TRACE_CACHE_SIZE
+        value = int(value)
+        if value < 1:
+            raise ConfigurationError(
+                f"trace cache size must be >= 1, got {value}"
+            )
+        return value
+
+
+#: The process-wide default configuration (all fields deferred to env).
+DEFAULT_CONFIG = RuntimeConfig()
+
+
+def resolve_n_jobs(
+    n_jobs: Optional[int] = None, config: Optional[RuntimeConfig] = None
+) -> int:
+    """Resolve a worker count outside any Engine (legacy call sites).
+
+    Same semantics as :meth:`RuntimeConfig.resolve_n_jobs`; ``config``
+    defaults to :data:`DEFAULT_CONFIG`.
+    """
+    return (config if config is not None else DEFAULT_CONFIG).resolve_n_jobs(n_jobs)

@@ -1,0 +1,103 @@
+"""The Engine: every entry point's one execution core.
+
+``Engine.run`` takes a batch of :class:`~repro.runtime.spec.RunSpec` values
+and returns their :class:`~repro.runtime.spec.RunResult` outcomes in input
+order, fanning across the shared process pool (:mod:`repro.runtime.pool`)
+when configured for more than one worker.  Figure sweeps, cluster scenario
+batches, ablations, the catalog study, and the benches all route through
+here, so parallelism, caching, determinism, and observability behave
+identically under every entry point — and future scaling work (batching,
+async, other backends) lands in exactly one place.
+
+Determinism contract
+--------------------
+Pooled execution is **bit-for-bit** identical to serial execution:
+
+* every spec is a deterministic pure function of its value (seeds are
+  derived, never drawn from global state — :mod:`repro.runtime.seeds`);
+* results are reassembled in task order regardless of completion order;
+* with an :class:`~repro.obs.trace.Observation`, every cell runs under its
+  own fresh registry (and in-memory trace buffer when the observation has
+  a sink); the parent merges registries and re-emits trace records in task
+  order, so the merged observability state is identical however the cells
+  were scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..obs.trace import Observation
+from .config import DEFAULT_CONFIG, RuntimeConfig
+from .pool import run_ordered
+from .spec import RunResult, RunSpec
+from .tasks import execute_spec
+
+
+class Engine:
+    """Executes RunSpec batches serially or across the shared pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes.  ``None`` defers to ``config`` and then the
+        ``REPRO_SWEEP_JOBS`` environment variable (serial by default);
+        negative means "all cores".  See
+        :meth:`~repro.runtime.config.RuntimeConfig.resolve_n_jobs`.
+    config:
+        Runtime knobs; defaults to the process-wide
+        :data:`~repro.runtime.config.DEFAULT_CONFIG`.
+
+    Examples
+    --------
+    >>> from repro.experiments.config import SweepConfig
+    >>> cfg = SweepConfig().quick(rates_per_hour=(30.0,), base_hours=2.0,
+    ...                           min_requests=10)
+    >>> engine = Engine(n_jobs=1)
+    >>> spec = RunSpec("sweep-point", ("npb", "npb", 30.0, cfg))
+    >>> engine.run_values([spec])[0].rate_per_hour
+    30.0
+    """
+
+    def __init__(
+        self,
+        n_jobs: Optional[int] = None,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.n_jobs = self.config.resolve_n_jobs(n_jobs)
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        observation: Optional[Observation] = None,
+    ) -> List[RunResult]:
+        """Execute every spec, preserving input order.
+
+        With an ``observation``, each cell's metrics snapshot is merged
+        into ``observation.metrics`` and its trace records re-emitted to
+        ``observation.trace`` in task order (see the module docstring for
+        why that makes pooled runs bit-for-bit serial).
+        """
+        want_metrics = observation is not None
+        want_trace = want_metrics and observation.trace is not None
+        results = run_ordered(
+            execute_spec,
+            [(spec, want_metrics, want_trace) for spec in specs],
+            self.n_jobs,
+        )
+        if observation is not None:
+            for result in results:
+                observation.metrics.merge_dict(result.metrics)
+                if observation.trace is not None:
+                    for record in result.trace:
+                        observation.trace.emit(record)
+        return results
+
+    def run_values(
+        self,
+        specs: Sequence[RunSpec],
+        observation: Optional[Observation] = None,
+    ) -> List[Any]:
+        """:meth:`run`, reduced to the handler return values."""
+        return [result.value for result in self.run(specs, observation=observation)]

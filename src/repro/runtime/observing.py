@@ -1,0 +1,78 @@
+"""Uniform observability threading: attach metrics/manifest/trace once.
+
+Before the runtime existed, the sweep runner, the CLI, and the cluster
+layer each wired their own ``MetricsRegistry`` + ``ManifestRecorder`` +
+``TraceSink`` combination.  :func:`observed_run` is the one way to do it:
+a context manager that opens a manifest around the run, yields an
+:class:`ObservedRun` whose ``observation`` is ready to hand to an
+:class:`~repro.runtime.engine.Engine`, and completes the manifest on exit.
+
+>>> with observed_run("demo", protocols=["npb"], seed=1) as run:
+...     run.observation.metrics.counter("demo.events").inc()
+>>> run.manifest.experiment
+'demo'
+>>> run.metrics_document()["metrics"]["counters"]["demo.events"]
+1
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..obs.manifest import ManifestRecorder, RunManifest
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Observation, TraceSink
+
+
+@dataclass
+class ObservedRun:
+    """One observed run: its live observation plus the completed manifest."""
+
+    observation: Observation
+    recorder: ManifestRecorder
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry every layer emitted into."""
+        return self.observation.metrics
+
+    @property
+    def manifest(self) -> RunManifest:
+        """The run manifest (complete once the ``with`` block exits)."""
+        return self.recorder.manifest
+
+    def metrics_document(self) -> Dict:
+        """The JSON document ``--metrics-out`` writes: manifest + metrics."""
+        return {
+            "schema": 1,
+            "manifest": self.manifest.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+@contextlib.contextmanager
+def observed_run(
+    experiment: str,
+    protocols: Sequence[str] = (),
+    params: Optional[Dict] = None,
+    seed: Optional[int] = None,
+    trace: Optional[TraceSink] = None,
+) -> Iterator[ObservedRun]:
+    """Open the standard observability session around one run.
+
+    Creates a fresh registry, attaches the optional trace sink, and
+    records a manifest over the block.  The caller threads
+    ``run.observation`` through the Engine (or any measured function) and
+    reads ``run.manifest`` / ``run.metrics_document()`` afterwards.
+    """
+    recorder = ManifestRecorder(
+        experiment, protocols=protocols, params=params, seed=seed
+    )
+    run = ObservedRun(
+        observation=Observation(metrics=MetricsRegistry(), trace=trace),
+        recorder=recorder,
+    )
+    with recorder:
+        yield run

@@ -1,0 +1,50 @@
+"""RunSpec and RunResult: the Engine's unit of work and its outcome.
+
+A :class:`RunSpec` is a *complete, picklable description* of one unit of
+work: a kind (which handler runs it — see :mod:`repro.runtime.tasks`) and
+a payload of plain values (protocol names, rates, configs, scenarios).
+Because the description is the whole input, the same spec always produces
+the same result — in this process, on a pool worker, today or in CI —
+which is the determinism contract every equivalence test pins.
+
+A :class:`RunResult` carries the handler's return value plus the cell's
+portable observability state: a metrics snapshot
+(:meth:`~repro.obs.registry.MetricsRegistry.to_dict`) and a list of plain
+trace-record dicts.  Both are picklable and JSON-safe, so cells cross
+process boundaries unchanged and the parent merges them deterministically
+in task order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Tuple
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of Engine work.
+
+    Attributes
+    ----------
+    kind:
+        Registered task kind (``"sweep-point"``, ``"cluster-scenario"``,
+        ...); see :data:`repro.runtime.tasks.BUILTIN_KINDS`.
+    payload:
+        Positional arguments for the kind's handler.  Must be picklable
+        for pooled execution.
+    label:
+        Optional display/debug label (not part of the work definition).
+    """
+
+    kind: str
+    payload: Tuple[Any, ...] = ()
+    label: str = field(default="", compare=False)
+
+
+class RunResult(NamedTuple):
+    """One executed spec: its value plus portable observability state."""
+
+    value: Any
+    metrics: Dict
+    trace: List[Dict]

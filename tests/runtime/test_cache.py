@@ -1,0 +1,98 @@
+"""The bounded shared trace cache: LRU discipline and introspection."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.cache import (
+    ARRIVAL_CACHE,
+    LRUCache,
+    cache_info,
+    clear_cache,
+    configure_cache,
+    record_cache_metrics,
+)
+from repro.runtime.seeds import arrival_trace
+
+
+@pytest.fixture(autouse=True)
+def _reset_shared_cache():
+    """Leave the process-wide cache the way each test found it."""
+    clear_cache()
+    yield
+    clear_cache()
+    configure_cache(None)
+
+
+class TestLRUCache:
+    def test_hit_does_not_invoke_factory(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get_or_create("a", lambda: 1) == 1
+        assert cache.get_or_create("a", lambda: pytest.fail("hit!")) == 1
+        assert cache.info().hits == 1
+        assert cache.info().misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.get_or_create("b", lambda: 2)
+        cache.get_or_create("a", lambda: -1)  # refresh "a"; "b" is now oldest
+        cache.get_or_create("c", lambda: 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert len(cache) == 2
+
+    def test_resize_evicts_down(self):
+        cache = LRUCache(max_entries=4)
+        for key in "abcd":
+            cache.get_or_create(key, lambda: key)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert "c" in cache and "d" in cache
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=2).resize(0)
+
+    def test_clear_keeps_statistics(self):
+        cache = LRUCache(max_entries=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info().misses == 1
+
+
+class TestSharedArrivalCache:
+    def test_arrival_trace_memoised(self):
+        first = arrival_trace(2001, 50.0, 6.0)
+        before = cache_info()
+        second = arrival_trace(2001, 50.0, 6.0)
+        after = cache_info()
+        assert second is first
+        assert after.hits == before.hits + 1
+        assert not first.flags.writeable
+
+    def test_distinct_keys_distinct_traces(self):
+        a = arrival_trace(2001, 50.0, 6.0)
+        b = arrival_trace(2002, 50.0, 6.0)
+        assert not np.array_equal(a, b)
+
+    def test_configure_cache_bounds_entries(self):
+        configure_cache(2)
+        for rate in (1.0, 2.0, 3.0, 4.0):
+            arrival_trace(2001, rate, 1.0)
+        assert cache_info().size == 2
+        assert cache_info().max_entries == 2
+
+    def test_record_cache_metrics_gauges(self):
+        arrival_trace(2001, 5.0, 1.0)
+        registry = MetricsRegistry()
+        record_cache_metrics(registry)
+        gauges = registry.to_dict()["gauges"]
+        assert gauges["runtime.cache.size"]["value"] == len(ARRIVAL_CACHE)
+        assert set(gauges) >= {
+            "runtime.cache.hits",
+            "runtime.cache.misses",
+            "runtime.cache.max_entries",
+        }

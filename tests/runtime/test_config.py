@@ -1,0 +1,80 @@
+"""Runtime config: one precedence chain (env < config field < argument)."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.config import (
+    DEFAULT_N_JOBS,
+    DEFAULT_TRACE_CACHE_SIZE,
+    N_JOBS_ENV,
+    TRACE_CACHE_ENV,
+    RuntimeConfig,
+    resolve_n_jobs,
+)
+
+
+class TestNJobsPrecedence:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(N_JOBS_ENV, raising=False)
+        assert resolve_n_jobs() == DEFAULT_N_JOBS == 1
+
+    def test_environment_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "3")
+        assert resolve_n_jobs() == 3
+
+    def test_config_field_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "3")
+        assert RuntimeConfig(n_jobs=2).resolve_n_jobs() == 2
+
+    def test_explicit_argument_overrides_config(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "3")
+        assert RuntimeConfig(n_jobs=2).resolve_n_jobs(5) == 5
+
+    def test_negative_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(N_JOBS_ENV, raising=False)
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs(0)
+
+    def test_unparsable_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "two")
+        with pytest.raises(ConfigurationError):
+            resolve_n_jobs()
+
+    def test_empty_environment_ignored(self, monkeypatch):
+        monkeypatch.setenv(N_JOBS_ENV, "  ")
+        assert resolve_n_jobs() == 1
+
+
+class TestTraceCacheSize:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(TRACE_CACHE_ENV, raising=False)
+        size = RuntimeConfig().resolve_trace_cache_size()
+        assert size == DEFAULT_TRACE_CACHE_SIZE
+
+    def test_environment(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, "7")
+        assert RuntimeConfig().resolve_trace_cache_size() == 7
+
+    def test_config_field_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(TRACE_CACHE_ENV, "7")
+        assert RuntimeConfig(trace_cache_size=9).resolve_trace_cache_size() == 9
+
+    def test_explicit_overrides_config(self):
+        assert RuntimeConfig(trace_cache_size=9).resolve_trace_cache_size(4) == 4
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig().resolve_trace_cache_size(0)
+
+
+def test_shim_reexports_same_objects():
+    """The deprecated parallel module forwards the runtime's resolver."""
+    from repro.experiments import parallel
+
+    assert parallel.N_JOBS_ENV is N_JOBS_ENV
+    assert parallel.resolve_n_jobs is resolve_n_jobs

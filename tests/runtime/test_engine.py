@@ -1,0 +1,82 @@
+"""Engine semantics: ordering, determinism, observability merge, kinds."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SweepConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import MemoryTraceSink, Observation
+from repro.runtime import Engine, RunSpec
+from repro.runtime.tasks import execute_spec, register_kind, resolve_kind
+
+TINY = SweepConfig().quick(rates_per_hour=(20.0, 200.0), base_hours=1.0,
+                           min_requests=10)
+
+
+def _sweep_specs():
+    return [
+        RunSpec("sweep-point", (name, name, rate, TINY), label=f"{name}@{rate:g}")
+        for name in ("npb", "dhb")
+        for rate in TINY.rates_per_hour
+    ]
+
+
+def test_results_preserve_input_order():
+    values = Engine(n_jobs=1).run_values(_sweep_specs())
+    assert [point.rate_per_hour for point in values] == [20.0, 200.0, 20.0, 200.0]
+
+
+def test_parallel_values_bit_for_bit_serial():
+    specs = _sweep_specs()
+    serial = Engine(n_jobs=1).run_values(specs)
+    parallel = Engine(n_jobs=2).run_values(specs)
+    assert serial == parallel
+
+
+def test_parallel_observability_merge_matches_serial():
+    specs = _sweep_specs()
+
+    def observed(n_jobs):
+        observation = Observation(metrics=MetricsRegistry(), trace=MemoryTraceSink())
+        Engine(n_jobs=n_jobs).run(specs, observation=observation)
+        return observation
+
+    serial = observed(1)
+    parallel = observed(2)
+    serial_dict, parallel_dict = serial.metrics.to_dict(), parallel.metrics.to_dict()
+    # Timer *durations* are wall-clock; everything else must be identical.
+    for section in ("counters", "gauges", "histograms"):
+        assert serial_dict[section] == parallel_dict[section]
+    assert {name: timer["count"] for name, timer in serial_dict["timers"].items()} == {
+        name: timer["count"] for name, timer in parallel_dict["timers"].items()
+    }
+    assert serial.trace.records == parallel.trace.records
+    # Records arrive in task order: npb's two rates, then dhb's.
+    protocols = [record["protocol"] for record in serial.trace.records]
+    assert protocols == sorted(protocols, key=("npb", "dhb").index)
+
+
+def test_run_without_observation_skips_snapshots():
+    result = execute_spec(_sweep_specs()[0], want_metrics=False, want_trace=False)
+    assert result.metrics == {} and result.trace == []
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown task kind"):
+        Engine(n_jobs=1).run([RunSpec("no-such-kind", ())])
+
+
+def test_register_kind_roundtrip_and_duplicates():
+    register_kind("test-echo", lambda payload, observation: payload[0] * 2)
+    assert resolve_kind("test-echo")(("x",), None) == "xx"
+    assert Engine(n_jobs=1).run_values([RunSpec("test-echo", (21,))]) == [42]
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_kind("test-echo", lambda payload, observation: None)
+
+
+def test_engine_resolves_jobs_from_environment(monkeypatch):
+    from repro.runtime.config import N_JOBS_ENV
+
+    monkeypatch.setenv(N_JOBS_ENV, "2")
+    assert Engine().n_jobs == 2
+    assert Engine(n_jobs=3).n_jobs == 3

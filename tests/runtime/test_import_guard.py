@@ -1,0 +1,44 @@
+"""Only ``repro.runtime`` may touch process pools.
+
+The unified runtime owns all process-pool plumbing; any other module
+importing ``concurrent.futures`` or ``multiprocessing`` is re-growing a
+private pool and bypassing the Engine's determinism contract.  The same
+rule gates CI via ``tools/lint.py`` (rule RT100); this test keeps it
+enforced even when only pytest runs.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+BANNED_ROOTS = {"concurrent", "multiprocessing"}
+
+
+def banned_imports(path: pathlib.Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in BANNED_ROOTS:
+                    yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module.split(".")[0] in BANNED_ROOTS:
+                yield node.lineno, node.module
+
+
+def test_pool_imports_confined_to_runtime():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.parent == SRC / "runtime":
+            continue
+        for lineno, module in banned_imports(path):
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {module}")
+    assert not offenders, (
+        "process-pool imports outside repro.runtime:\n" + "\n".join(offenders)
+    )
+
+
+def test_runtime_pool_module_does_use_the_pool():
+    """The guard is meaningful: the allowed module really holds the import."""
+    assert any(banned_imports(SRC / "runtime" / "pool.py"))

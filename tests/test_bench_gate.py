@@ -17,7 +17,11 @@ from benchmarks.check_regression import (  # noqa: E402
 
 
 #: Benches whose fresh detail must carry ``verified: 1`` for the gate.
-VERIFIED_BENCHES = ("fig7_quick_parallel", "cluster_quick_parallel")
+VERIFIED_BENCHES = (
+    "fig7_quick_parallel",
+    "cluster_quick_parallel",
+    "runtime_quick",
+)
 
 
 def _report(seconds_by_name, calibration=0.05, verified=1):

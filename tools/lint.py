@@ -11,7 +11,11 @@ dependencies at lint time) still gate the codebase:
 * **F401** — imported name never used (module files only; ``__init__.py``
   re-exports are exempt, as are names listed in ``__all__`` or aliased to
   themselves ``import x as x``);
-* **F632** — ``is`` / ``is not`` against a str/bytes/int literal.
+* **F632** — ``is`` / ``is not`` against a str/bytes/int literal;
+* **RT100** — ``concurrent.futures`` / ``multiprocessing`` imported by a
+  ``src/repro`` module outside ``repro.runtime``.  The runtime owns all
+  process-pool plumbing (one pool discipline, one determinism contract);
+  everything else submits :class:`RunSpec` batches to the Engine.
 
 A trailing ``# noqa`` comment (bare or with codes) suppresses findings on
 that line, mirroring ruff.  Exit status is 1 when any finding survives.
@@ -31,6 +35,35 @@ MAX_LINE = 100
 SCAN_DIRS = ("src", "tests", "benchmarks", "tools")
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Top-level modules only ``repro.runtime`` may import (rule RT100).
+POOL_MODULES = ("concurrent", "multiprocessing")
+
+
+def _pool_guard(path: pathlib.Path, tree: ast.Module) -> List[Tuple[int, str, str]]:
+    """RT100 findings: process-pool imports outside ``repro.runtime``."""
+    posix = path.resolve().as_posix()
+    if "/src/repro/" not in posix or "/src/repro/runtime/" in posix:
+        return []
+    findings: List[Tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            names = [node.module]
+        else:
+            continue
+        for name in names:
+            if name.split(".")[0] in POOL_MODULES:
+                findings.append(
+                    (
+                        node.lineno,
+                        "RT100",
+                        f"{name!r} imported outside repro.runtime "
+                        "(submit RunSpecs to the Engine instead)",
+                    )
+                )
+    return findings
 
 
 def _noqa_lines(source: str) -> Dict[int, Set[str]]:
@@ -161,6 +194,7 @@ def check_file(path: pathlib.Path) -> List[Tuple[int, str, str]]:
     checker.visit(tree)
     checker.finish(tree, source)
     findings.extend(checker.findings)
+    findings.extend(_pool_guard(path, tree))
     suppressed = _noqa_lines(source)
     kept = []
     for lineno, code, message in findings:
