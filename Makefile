@@ -1,6 +1,6 @@
 # Convenience targets for the DHB reproduction.
 
-.PHONY: install test lint bench bench-json bench-check figures clean
+.PHONY: install test lint bench bench-json bench-check smoke-large figures clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,10 @@ bench-json:
 # Regression gate: fresh quick benches vs the committed BENCH_sweep.json.
 bench-check:
 	PYTHONPATH=src python benchmarks/check_regression.py
+
+# Large-horizon smoke: a 1M-request fig7 point under wall-clock/RSS budgets.
+smoke-large:
+	PYTHONPATH=src python benchmarks/large_smoke.py
 
 figures:
 	python -m repro.cli figures

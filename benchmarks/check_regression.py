@@ -16,9 +16,14 @@ the hot loop" tripwire, not a microbenchmark suite:
 * **Noise floor.**  A fixed floor is added to both sides of the ratio so
   microsecond-scale benches cannot trip the gate on scheduler jitter.
 * **Determinism check.**  The fresh ``fig7_quick_parallel``,
-  ``cluster_quick_parallel`` and ``runtime_quick`` benches must report
-  ``verified: 1`` — the serial/parallel bit-for-bit equality invariant is
-  part of the gate, not just the timings.
+  ``cluster_quick_parallel``, ``runtime_quick`` and ``fig7_columnar``
+  benches must report ``verified: 1`` — the serial/parallel and
+  columnar/scalar bit-for-bit equality invariants are part of the gate,
+  not just the timings.
+* **Memory and throughput ceilings.**  The columnar benches gate peak RSS
+  (``micro_dhb_10m`` and ``fig7_columnar`` must stay under 1 GiB — the
+  streaming-statistics promise) and ``micro_dhb_10m`` must hold a >= 5x
+  measured speedup over the scalar per-request loop.
 
 Exit status: 0 when every bench passes, 1 on any regression or missing
 bench, 2 on a malformed/missing baseline.
@@ -47,6 +52,13 @@ NOISE_FLOOR_SECONDS = 0.005
 
 #: Fresh/baseline slowdown beyond which a bench fails the gate.
 DEFAULT_THRESHOLD = 2.0
+
+#: Peak-RSS ceiling (MiB) for the columnar benches: "10M requests in
+#: bounded memory" is an acceptance criterion, not an aspiration.
+MEMORY_CEILING_MB = 1024.0
+
+#: Minimum measured columnar/scalar throughput ratio for ``micro_dhb_10m``.
+MIN_COLUMNAR_SPEEDUP = 5.0
 
 
 def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
@@ -99,16 +111,49 @@ def compare(
         "fig7_quick_parallel",
         "cluster_quick_parallel",
         "runtime_quick",
+        "fig7_columnar",
     ):
         parallel = fresh_benches.get(verified_bench, {}).get("detail", {})
         if parallel.get("verified") != 1:
             failures.append(
-                f"{verified_bench}: serial/parallel equality not verified "
+                f"{verified_bench}: equality invariant not verified "
                 f"(detail: {parallel!r})"
             )
             lines.append(failures[-1])
         else:
-            lines.append(f"{verified_bench:28s}   serial == parallel verified")
+            lines.append(f"{verified_bench:28s}   equality verified")
+    for memory_bench in ("micro_dhb_10m", "fig7_columnar"):
+        detail = fresh_benches.get(memory_bench, {}).get("detail", {})
+        rss = detail.get("peak_rss_mb")
+        if rss is None:
+            failures.append(f"{memory_bench}: no peak_rss_mb in detail")
+            lines.append(failures[-1])
+        elif float(rss) >= MEMORY_CEILING_MB:
+            failures.append(
+                f"{memory_bench}: peak RSS {rss} MiB >= {MEMORY_CEILING_MB} MiB"
+            )
+            lines.append(failures[-1])
+        else:
+            lines.append(
+                f"{memory_bench:28s}   peak RSS {rss} MiB "
+                f"< {MEMORY_CEILING_MB:.0f} MiB"
+            )
+    speedup = (
+        fresh_benches.get("micro_dhb_10m", {})
+        .get("detail", {})
+        .get("speedup_vs_scalar")
+    )
+    if speedup is None or float(speedup) < MIN_COLUMNAR_SPEEDUP:
+        failures.append(
+            f"micro_dhb_10m: columnar speedup {speedup!r} below "
+            f"{MIN_COLUMNAR_SPEEDUP}x over the scalar loop"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'micro_dhb_10m':28s}   columnar x{float(speedup):.1f} "
+            f">= {MIN_COLUMNAR_SPEEDUP:.0f}x scalar"
+        )
     return lines, failures
 
 

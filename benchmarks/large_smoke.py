@@ -1,0 +1,114 @@
+"""Large-horizon smoke check: one 1M-request fig7-style point, budgeted.
+
+CI runs this after the unit suite to prove the columnar slotted path
+actually delivers its scale claim on every commit — a million-request DHB
+point must finish inside a wall-clock budget and a peak-RSS ceiling, on
+the columnar path::
+
+    PYTHONPATH=src python benchmarks/large_smoke.py
+    python benchmarks/large_smoke.py --requests 2000000 --budget-seconds 120
+
+Exit status: 0 when the point completes within budget, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import resource
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:  # installed package, or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # direct invocation from a source checkout
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.core.dhb import DHBProtocol
+from repro.runtime.seeds import arrival_trace
+from repro.sim.slotted import SlottedSimulation
+
+#: Simulated hours for the smoke point; the rate scales with --requests.
+HORIZON_HOURS = 50.0
+
+#: Figure-7 geometry: a 2-hour video in 99 equal segments.
+N_SEGMENTS = 99
+SLOT_DURATION = 7200.0 / N_SEGMENTS
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident-set size in MiB (``ru_maxrss``)."""
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    return maxrss / divisor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=1_000_000,
+        help="expected request count; sets the Poisson rate over 50 hours",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=60.0,
+        help="wall-clock budget for the simulation itself",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=1024.0,
+        help="peak-RSS ceiling in MiB for the whole process",
+    )
+    parser.add_argument("--seed", type=int, default=20260807)
+    args = parser.parse_args(argv)
+
+    rate_per_hour = args.requests / HORIZON_HOURS
+    arrivals = arrival_trace(args.seed, rate_per_hour, HORIZON_HOURS)
+    horizon_slots = int(HORIZON_HOURS * 3600.0 / SLOT_DURATION)
+    warmup_slots = horizon_slots // 10
+
+    start = time.perf_counter()
+    result = SlottedSimulation(
+        DHBProtocol(n_segments=N_SEGMENTS),
+        SLOT_DURATION,
+        horizon_slots,
+        warmup_slots,
+    ).run(arrivals)
+    elapsed = time.perf_counter() - start
+    rss = peak_rss_mb()
+
+    print(
+        f"large smoke: {arrivals.size} arrivals, {result.n_requests} measured, "
+        f"mean_bw={result.mean_streams:.3f}, p99_wait={result.wait_p99:.1f}s"
+    )
+    print(
+        f"elapsed {elapsed:.2f}s (budget {args.budget_seconds:.0f}s), "
+        f"peak RSS {rss:.0f} MiB (ceiling {args.max_rss_mb:.0f} MiB), "
+        f"columnar={result.columnar}"
+    )
+
+    failures = []
+    if not result.columnar:
+        failures.append("point did not run on the columnar path")
+    if elapsed > args.budget_seconds:
+        failures.append(
+            f"wall clock {elapsed:.2f}s over budget {args.budget_seconds:.0f}s"
+        )
+    if rss > args.max_rss_mb:
+        failures.append(f"peak RSS {rss:.0f} MiB over {args.max_rss_mb:.0f} MiB")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("large smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ import argparse
 import json
 import pathlib
 import platform
+import resource
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -41,12 +42,30 @@ from repro.cluster.scenario import (
 from repro.core.dhb import DHBProtocol
 from repro.experiments.config import SweepConfig
 from repro.experiments.fig7 import FIG7_PROTOCOLS
-from repro.experiments.runner import clear_trace_cache, sweep_grid, sweep_protocols
+from repro.experiments.runner import (
+    arrivals_for_rate,
+    clear_trace_cache,
+    measure_protocol,
+    sweep_grid,
+    sweep_protocols,
+)
 from repro.protocols.ud import UniversalDistributionProtocol
 from repro.runtime import Engine
+from repro.sim.slotted import SlottedSimulation
 
 #: Quick Figure-7 grid: full protocol set, three rates, short horizons.
 QUICK_CONFIG = SweepConfig().quick()
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident-set size in MiB (``ru_maxrss``).
+
+    Linux reports kilobytes, macOS bytes; everything downstream (bench
+    details, the regression gate's memory ceiling) works in MiB.
+    """
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 ** 2 if sys.platform == "darwin" else 1024.0
+    return maxrss / divisor
 
 
 def bench_dhb_saturated() -> Dict[str, float]:
@@ -92,6 +111,88 @@ def bench_fig7_quick_parallel() -> Dict[str, float]:
                 f"parallel sweep diverged from serial for {a.protocol!r}"
             )
     return {"points": sum(len(s.points) for s in parallel), "verified": 1}
+
+
+def bench_dhb_10m() -> Dict[str, float]:
+    """One fig7-style DHB point over 10M requests on the columnar path.
+
+    The ROADMAP's production-scale target: a saturated 99-segment DHB
+    point whose trace no longer fits a per-request Python loop.  The
+    detail records throughput, the measured speedup over the scalar loop
+    on a 200k-request prefix of the same trace (the regression gate
+    requires >= 5x), and the process peak RSS (gated < 1 GiB — the
+    streaming statistics keep the run's footprint at the trace itself).
+    """
+    d = 1.0
+    horizon = 100_000
+    warmup = 1_000
+    rng = np.random.default_rng(20260807)
+    arrivals = np.sort(rng.uniform(0.0, horizon * d, 10_000_000))
+    start = time.perf_counter()
+    result = SlottedSimulation(
+        DHBProtocol(n_segments=99), d, horizon, warmup
+    ).run(arrivals)
+    columnar_seconds = time.perf_counter() - start
+    if not result.columnar:
+        raise AssertionError("10M bench did not take the columnar path")
+    # Scalar baseline on a prefix at the same saturation density
+    # (~100 requests/slot), so the ratio compares per-request costs.
+    prefix_slots = 2_000
+    prefix = arrivals[: int(np.searchsorted(arrivals, float(prefix_slots)))]
+    start = time.perf_counter()
+    scalar_result = SlottedSimulation(
+        DHBProtocol(n_segments=99), d, prefix_slots, warmup, columnar=False
+    ).run(prefix)
+    scalar_seconds = time.perf_counter() - start
+    columnar_rps = result.n_requests / columnar_seconds
+    scalar_rps = scalar_result.n_requests / scalar_seconds
+    return {
+        "requests": result.n_requests,
+        "requests_per_second": round(columnar_rps),
+        "speedup_vs_scalar": round(columnar_rps / scalar_rps, 2),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+
+
+def bench_fig7_columnar() -> Dict[str, float]:
+    """The quick Figure-7 sweep, columnar vs forced-scalar, cross-checked.
+
+    Runs the sweep the normal way (slotted points take the columnar hot
+    path) and re-measures every slotted cell with ``columnar=False``;
+    fails loudly on any difference, so the entry doubles as a bit-for-bit
+    equivalence check (``verified``) alongside its timing.
+    """
+    from repro.protocols.registry import ProtocolContext, build_protocol
+    from repro.sim.slotted import SlottedModel
+
+    names = [name for name, _ in FIG7_PROTOCOLS]
+    series = sweep_protocols(names, QUICK_CONFIG, n_jobs=1)
+    for name, measured in zip(names, series):
+        for rate, point in zip(QUICK_CONFIG.rates_per_hour, measured.points):
+            context = ProtocolContext(
+                n_segments=QUICK_CONFIG.n_segments,
+                duration=QUICK_CONFIG.duration,
+                rate_per_hour=rate,
+            )
+            protocol = build_protocol(name, context)
+            if not isinstance(protocol, SlottedModel):
+                continue
+            scalar_point = measure_protocol(
+                protocol,
+                QUICK_CONFIG,
+                rate,
+                arrival_times=arrivals_for_rate(QUICK_CONFIG, rate),
+                columnar=False,
+            )
+            if scalar_point != point:
+                raise AssertionError(
+                    f"columnar sweep diverged from scalar for {name!r} @ {rate}"
+                )
+    return {
+        "points": sum(len(s.points) for s in series),
+        "verified": 1,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
 
 
 def bench_cluster_quick() -> Dict[str, float]:
@@ -149,8 +250,10 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro_dhb_saturated": bench_dhb_saturated,
     "micro_dhb_cold": bench_dhb_cold,
     "micro_ud_saturated": bench_ud_saturated,
+    "micro_dhb_10m": bench_dhb_10m,
     "fig7_quick_serial": bench_fig7_quick_serial,
     "fig7_quick_parallel": bench_fig7_quick_parallel,
+    "fig7_columnar": bench_fig7_columnar,
     "cluster_quick": bench_cluster_quick,
     "cluster_quick_parallel": bench_cluster_parallel,
     "runtime_quick": bench_runtime_quick,

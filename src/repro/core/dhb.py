@@ -163,23 +163,51 @@ class DHBProtocol(SlottedModel):
 
         One vector compare finds the segments with no shareable future
         instance (at saturation only ~H(n) of n qualify); each of those is
-        then placed by the fused window-min chooser.  Processing stays in
+        then placed by the fused window-min kernel
+        (:meth:`SlotSchedule.place_latest_min_many`).  Processing stays in
         ascending segment order and reads loads live, so the resulting
         schedule is bit-for-bit the generic loop's.
         """
+        self.handle_batch(slot, 1)
+        return None
+
+    def handle_batch(self, slot: int, count: int) -> None:
+        """Admit ``count`` same-slot requests in one batched admission.
+
+        Sharing collapses a slot's batch to a single admission: the first
+        request leaves every segment with a scheduled instance inside
+        ``(slot, slot + T[j]]`` — inside every later same-slot request's
+        window — so requests 2..count share everything and schedule
+        nothing.  Observably identical to ``count`` repeated
+        :meth:`handle_request` calls (schedule, counters, metrics), at the
+        cost of one.
+
+        Configurations outside the fused fast path (custom choosers,
+        sharing disabled, client tracking) fall back to the scalar loop,
+        whose semantics genuinely differ per request.
+        """
+        if count <= 0:
+            return
+        fused = self.chooser is latest_min_load_chooser
+        if not (fused and self.enable_sharing and not self.track_clients):
+            for _ in range(count):
+                self.handle_request(slot)
+            return
         schedule = self.schedule
         needed = (schedule.next_transmissions <= slot).nonzero()[0]
+        placed = 0
         if needed.size:
             periods = self._period_list
-            place = schedule.place_latest_min
-            first = slot + 1
-            for index in needed.tolist():
-                place(first, slot + periods[index], index + 1)
-        self.requests_admitted += 1
+            indices = needed.tolist()
+            placed = schedule.place_latest_min_many(
+                slot + 1,
+                [slot + periods[index] for index in indices],
+                [index + 1 for index in indices],
+            )
+        self.requests_admitted += count
         if self.metrics is not None:
-            self.metrics.counter("protocol.requests").inc()
-            self.metrics.counter("protocol.instances_scheduled").inc(int(needed.size))
-        return None
+            self.metrics.counter("protocol.requests").inc(count)
+            self.metrics.counter("protocol.instances_scheduled").inc(placed)
 
     def slot_load(self, slot: int) -> int:
         """Segment instances transmitted during ``slot`` (streams of rate b)."""

@@ -331,6 +331,80 @@ class SlotSchedule:
             self._next_tx[segment - 1] = chosen
         return chosen
 
+    def place_latest_min_many(
+        self, first_slot: int, last_slots: Sequence[int], segments: Sequence[int]
+    ) -> int:
+        """Fused admission loop: one :meth:`place_latest_min` per window.
+
+        Places ``segments[k]`` at the least-loaded/latest slot of
+        ``[first_slot, last_slots[k]]``, in order, reading loads live (each
+        placement sees the previous ones) — bit-for-bit the sequence of
+        individual :meth:`place_latest_min` calls, but with the bounds
+        validation and capacity reservation hoisted out of the loop: one
+        ``_ensure_capacity`` for the largest window covers every placement.
+        Returns the number of instances placed.
+
+        This is the admission kernel of the batched protocols: a whole
+        slot's worth of requests reduces (via the sharing invariant) to one
+        pass over the segments that lack a shareable future instance.
+        """
+        if len(last_slots) != len(segments):
+            raise SchedulingError(
+                f"{len(last_slots)} windows for {len(segments)} segments"
+            )
+        if not segments:
+            return 0
+        for segment in segments:
+            if not 1 <= segment <= self.n_segments:
+                self._check_segment(segment)
+        if first_slot < self._released_before:
+            raise SchedulingError(
+                f"window start {first_slot} below released floor "
+                f"{self._released_before}"
+            )
+        farthest = max(last_slots)
+        if farthest < first_slot:
+            raise SchedulingError(f"empty slot window [{first_slot}, {farthest}]")
+        if farthest - self._base >= len(self._loads):
+            self._ensure_capacity(farthest)
+        loads = self._loads
+        loads_np = self._loads_np
+        weight_loads = self._weight_loads
+        weights = self._weights
+        occupied = self._slots
+        next_tx = self._next_tx
+        base = self._base
+        low = first_slot - base
+        for last_slot, segment in zip(last_slots, segments):
+            if last_slot < first_slot:
+                raise SchedulingError(
+                    f"empty slot window [{first_slot}, {last_slot}]"
+                )
+            high = last_slot - base
+            if high - low < _SMALL_WINDOW:
+                chosen_index = high
+                best_load = loads[high]
+                for index in range(high - 1, low - 1, -1):
+                    load = loads[index]
+                    if load < best_load:
+                        chosen_index, best_load = index, load
+            else:
+                chosen_index = high - int(loads_np[low : high + 1][::-1].argmin())
+            chosen = base + chosen_index
+            loads[chosen_index] += 1
+            if weight_loads is not None:
+                weight_loads[chosen_index] += weights[segment - 1]
+            bucket = occupied.get(chosen)
+            if bucket is None:
+                occupied[chosen] = [segment]
+            else:
+                bucket.append(segment)
+            if chosen > next_tx[segment - 1]:
+                next_tx[segment - 1] = chosen
+        placed = len(segments)
+        self._total_instances += placed
+        return placed
+
     def release_before(self, slot: int) -> None:
         """Drop per-slot bookkeeping for slots ``< slot`` (bounded memory).
 

@@ -65,6 +65,7 @@ def measure_protocol(
     metrics: Optional[MetricsRegistry] = None,
     trace: Optional[TraceSink] = None,
     trace_context: Optional[Dict] = None,
+    columnar: bool = True,
 ) -> BandwidthPoint:
     """Simulate one protocol at one rate and reduce to a bandwidth point.
 
@@ -101,6 +102,12 @@ def measure_protocol(
     trace_context:
         Extra fields copied into every trace record (protocol label,
         rate, ...).
+    columnar:
+        Allow the slotted driver's columnar hot path (pre-bucketed
+        batched admission; bit-for-bit identical results).  It engages
+        only for numpy arrival arrays with no trace sink attached;
+        ``False`` forces the scalar per-request loop (equivalence tests
+        and the bench baseline use it).
     """
     if rate_per_hour <= 0:
         raise ConfigurationError("rate must be > 0")
@@ -122,6 +129,7 @@ def measure_protocol(
             metrics=metrics,
             trace=trace,
             trace_context=trace_context,
+            columnar=columnar,
         ).run(arrival_times)
         if byte_weighted:
             return BandwidthPoint(
@@ -169,7 +177,9 @@ def measure_sweep_point(
     Builds a fresh registry protocol for ``(name, rate)`` under the shared
     seeded arrival trace and reduces it to one
     :class:`~repro.analysis.metrics.BandwidthPoint`.  This is the unit of
-    work :func:`sweep_protocols` fans across the runtime Engine.
+    work :func:`sweep_protocols` fans across the runtime Engine.  Arrival
+    traces are numpy arrays, so slotted points take the columnar hot path
+    automatically whenever no per-slot trace sink is attached.
     """
     from ..protocols.registry import ProtocolContext, build_protocol
 

@@ -179,6 +179,14 @@ class StaticBroadcastProtocol(SlottedModel):
         if self.metrics is not None:
             self.metrics.counter("protocol.requests").inc()
 
+    def handle_batch(self, slot: int, count: int) -> None:
+        """Fixed schedules ignore requests entirely: O(1) per batch."""
+        if count <= 0:
+            return
+        self.requests_admitted += count
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc(count)
+
     def slot_load(self, slot: int) -> int:
         """Fixed protocols keep every stream busy in every slot."""
         return self.map.n_streams

@@ -107,6 +107,19 @@ class OnDemandMapProtocol(SlottedModel):
         touch the store.  Marking is idempotent because occurrences are
         non-decreasing across admissions.
         """
+        self.handle_batch(slot, 1)
+
+    def handle_batch(self, slot: int, count: int) -> None:
+        """Admit ``count`` same-slot requests with one marking pass.
+
+        Every request arriving during ``slot`` consumes exactly the same
+        occurrences (the first of each segment after ``slot``), and marking
+        is idempotent, so the batch reduces to one vectorised pass plus
+        O(1) bookkeeping — observably identical to ``count`` repeated
+        :meth:`handle_request` calls.
+        """
+        if count <= 0:
+            return
         schedule = self._schedule
         after = slot + 1
         delta = after - self._offsets_np
@@ -119,9 +132,9 @@ class OnDemandMapProtocol(SlottedModel):
             targets = occurrences[fresh].tolist()
             for index, occurrence in zip(fresh.tolist(), targets):
                 add(occurrence, index + 1)
-        self.requests_admitted += 1
+        self.requests_admitted += count
         if self.metrics is not None:
-            self.metrics.counter("protocol.requests").inc()
+            self.metrics.counter("protocol.requests").inc(count)
             self.metrics.counter("protocol.instances_scheduled").inc(int(fresh.size))
 
     def slot_load(self, slot: int) -> int:

@@ -11,7 +11,11 @@ Built-in kinds
 --------------
 ``sweep-point``
     One figure-sweep grid cell: ``(name, label, rate, SweepConfig)`` →
-    :class:`~repro.analysis.metrics.BandwidthPoint`.
+    :class:`~repro.analysis.metrics.BandwidthPoint`.  Slotted cells run
+    on the columnar slotted hot path (arrival traces are numpy arrays)
+    unless a per-slot trace sink is attached, so every entry point that
+    fans work through the Engine — figure sweeps, ablations, catalog
+    studies, the CLI — gets batched admission for free.
 ``fig9-series``
     One Figure-9 series: ``(series_name, SweepConfig, video | None)`` →
     :class:`~repro.analysis.metrics.ProtocolSeries`.

@@ -14,6 +14,9 @@ runs on:
 * :mod:`repro.sim.stats` / :mod:`repro.sim.recorder` — online statistics
   (means, maxima, time-weighted averages, batch-means confidence intervals)
   and per-slot / busy-interval recorders.
+* :mod:`repro.sim.sketches` — fixed-size quantile sketches (binned counts
+  for the slotted hot path, P² for unbounded reactive delays) so tail
+  statistics stream in bounded memory at 10M+ request horizons.
 """
 
 from .continuous import BusyInterval, ContinuousSimulation, ReactiveModel, ReactiveResult
@@ -21,15 +24,18 @@ from .engine import EventEngine
 from .events import Event
 from .recorder import SlotLoadRecorder, TimeWeightedRecorder
 from .rng import RandomStreams
+from .sketches import BinnedQuantileSketch, P2Quantile
 from .slotted import SlottedModel, SlottedResult, SlottedSimulation
 from .stats import OnlineStats, TimeWeightedStats, batch_means_ci
 
 __all__ = [
+    "BinnedQuantileSketch",
     "BusyInterval",
     "ContinuousSimulation",
     "Event",
     "EventEngine",
     "OnlineStats",
+    "P2Quantile",
     "RandomStreams",
     "ReactiveModel",
     "ReactiveResult",

@@ -11,6 +11,23 @@ measures per-slot bandwidth.  A slot's load is final once every request from
 earlier slots has been processed (no protocol may schedule into the current
 or a past slot), so the driver records slot ``s`` just before delivering the
 arrivals of slot ``s``.
+
+Two execution paths produce bit-for-bit identical results:
+
+* the **scalar path** delivers arrivals one at a time through
+  :meth:`SlottedModel.handle_request` and is taken whenever a per-slot trace
+  sink is attached (traces need the exact per-request cadence), when the
+  arrivals are a generic Python sequence, or when ``columnar=False``;
+* the **columnar path** pre-buckets the whole (numpy) arrival trace into
+  slots with one ``np.searchsorted`` against the slot boundaries and hands
+  each slot's batch to :meth:`SlottedModel.handle_batch` — one protocol call
+  per *occupied slot* instead of one per request, which is what makes
+  10M-request horizons tractable.
+
+Waiting-time statistics stream in bounded memory on both paths: a running
+sum/max (bit-identical to the list-based fold they replaced) plus a
+fixed-size :class:`~repro.sim.sketches.BinnedQuantileSketch` over ``[0, d]``
+for the tail (p50/p99).
 """
 
 from __future__ import annotations
@@ -20,8 +37,11 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError, SimulationError
 from .recorder import SlotLoadRecorder
+from .sketches import BinnedQuantileSketch
 from .stats import OnlineStats
 
 if TYPE_CHECKING:  # imported lazily to keep the sim layer import-light
@@ -62,6 +82,20 @@ class SlottedModel(abc.ABC):
         The protocol must arrange for every segment to reach this client on
         time, scheduling transmissions into slots ``>= slot + 1`` only.
         """
+
+    def handle_batch(self, slot: int, count: int) -> None:
+        """Admit ``count`` requests that all arrived during ``slot``.
+
+        The default loops over :meth:`handle_request`, so every existing
+        protocol keeps working under the columnar driver.  Protocols whose
+        same-slot admissions are idempotent (DHB with sharing, the
+        on-demand map protocols, the fixed schedules) override this with a
+        true batched implementation: one admission pass plus O(1)
+        bookkeeping for the remaining ``count - 1`` requests, observably
+        identical to the loop.
+        """
+        for _ in range(count):
+            self.handle_request(slot)
 
     @abc.abstractmethod
     def slot_load(self, slot: int) -> int:
@@ -115,6 +149,12 @@ class SlottedResult:
     mean_weight: float = 0.0
     max_weight: float = 0.0
     series: List[int] = field(default_factory=list)
+    #: Streamed waiting-time quantiles (bin-upper-edge estimates over
+    #: ``[0, d]``; 0.0 when no post-warmup request was measured).
+    wait_p50: float = 0.0
+    wait_p99: float = 0.0
+    #: Which driver path produced this result (columnar = batched slots).
+    columnar: bool = False
 
     def scaled_mean(self, stream_bandwidth: float) -> float:
         """Mean server bandwidth when each stream carries ``stream_bandwidth``.
@@ -127,6 +167,11 @@ class SlottedResult:
     def scaled_max(self, stream_bandwidth: float) -> float:
         """Peak server bandwidth when each stream carries ``stream_bandwidth``."""
         return self.max_streams * stream_bandwidth
+
+
+#: Bins of the waiting-time sketch: slot-duration / WAIT_SKETCH_BINS of
+#: quantile resolution (a few milliseconds at figure-7 slot lengths).
+WAIT_SKETCH_BINS = 2048
 
 
 class SlottedSimulation:
@@ -153,9 +198,15 @@ class SlottedSimulation:
     trace:
         Optional :class:`~repro.obs.trace.TraceSink` receiving one record
         per simulated slot (see :mod:`repro.obs.trace` for the schema).
+        Attaching a trace forces the scalar path — trace records carry the
+        exact per-request cadence of the slow-path semantics.
     trace_context:
         Extra fields (protocol label, rate, ...) copied into every trace
         record.
+    columnar:
+        Allow the batched fast path for numpy arrival arrays (default).
+        ``False`` forces the scalar path — used by equivalence tests and
+        the speedup benches; results are bit-for-bit identical either way.
     """
 
     def __init__(
@@ -168,6 +219,7 @@ class SlottedSimulation:
         metrics: Optional["MetricsRegistry"] = None,
         trace: Optional["TraceSink"] = None,
         trace_context: Optional[Dict] = None,
+        columnar: bool = True,
     ):
         if slot_duration <= 0:
             raise ConfigurationError(f"slot_duration must be > 0, got {slot_duration}")
@@ -184,6 +236,7 @@ class SlottedSimulation:
         self.metrics = metrics
         self.trace = trace
         self.trace_context = dict(trace_context or {})
+        self.columnar = columnar
 
     def run(self, arrival_times: Sequence[float]) -> SlottedResult:
         """Simulate the protocol over ``arrival_times`` (seconds, sorted).
@@ -192,7 +245,29 @@ class SlottedSimulation:
         bandwidth and waiting-time statistics.  Accepts any sorted,
         indexable sequence — typically the runner's (read-only, shared)
         numpy trace — and never copies it.
+
+        Numpy arrays take the columnar path (sortedness checked once,
+        upfront) unless a trace sink is attached or ``columnar=False``;
+        generic sequences take the scalar path with the incremental
+        sortedness check.  Both paths return identical results.
         """
+        arrivals = arrival_times
+        if isinstance(arrivals, np.ndarray) and arrivals.ndim == 1:
+            # Sortedness hoisted out of the hot loop: one vectorised pass
+            # over the whole trace instead of a compare per delivery.
+            if arrivals.size > 1 and not bool(
+                np.all(arrivals[1:] >= arrivals[:-1])
+            ):
+                raise SimulationError("arrival times must be sorted")
+            if self.columnar and self.trace is None:
+                return self._run_columnar(arrivals)
+            return self._run_scalar(arrivals, presorted=True)
+        return self._run_scalar(arrivals, presorted=False)
+
+    def _run_scalar(
+        self, arrivals: Sequence[float], presorted: bool
+    ) -> SlottedResult:
+        """Per-request delivery loop (the reference semantics)."""
         d = self.slot_duration
         metrics = self.metrics
         trace = self.trace
@@ -200,11 +275,13 @@ class SlottedSimulation:
             self.warmup_slots, keep_series=self.keep_series, registry=metrics
         )
         weight_stats = OnlineStats()
-        waits: List[float] = []
+        wait_sketch = BinnedQuantileSketch(d, WAIT_SKETCH_BINS)
+        wait_sum = 0.0
+        wait_max = 0.0
+        measured_requests = 0
         previous = -math.inf
         arrival_index = 0
         ignored = 0
-        arrivals = arrival_times
         n_arrivals = len(arrivals)
         if metrics is not None:
             self.protocol.bind_metrics(metrics)
@@ -224,14 +301,20 @@ class SlottedSimulation:
             first_ignored = ignored
             while arrival_index < n_arrivals and arrivals[arrival_index] < slot_end:
                 t = arrivals[arrival_index]
-                if t < previous:
-                    raise SimulationError("arrival times must be sorted")
-                previous = t
+                if not presorted:
+                    if t < previous:
+                        raise SimulationError("arrival times must be sorted")
+                    previous = t
                 if t >= slot * d:  # ignore arrivals before the simulated epoch
                     self.protocol.handle_request(slot)
                     if slot >= self.warmup_slots:
                         # Service begins at the next slot boundary.
-                        waits.append(slot_end - t)
+                        wait = slot_end - t
+                        wait_sum += wait
+                        if wait > wait_max:
+                            wait_max = wait
+                        wait_sketch.add(wait)
+                        measured_requests += 1
                 else:
                     ignored += 1
                 arrival_index += 1
@@ -253,22 +336,129 @@ class SlottedSimulation:
             self.protocol.release_before(slot)
 
         recorder.finish()
-        measured_requests = len(waits)
         if metrics is not None:
             run_span.__exit__(None, None, None)
             metrics.counter("sim.slots").inc(self.horizon_slots)
             metrics.counter("sim.requests").inc(arrival_index - ignored)
             metrics.counter("sim.arrivals_ignored").inc(ignored)
             metrics.gauge("sim.warmup_slots").set(self.warmup_slots)
+        return self._result(
+            recorder, weight_stats, wait_sketch, wait_sum, wait_max,
+            measured_requests, columnar=False,
+        )
+
+    def _run_columnar(self, arrivals: np.ndarray) -> SlottedResult:
+        """Batched delivery: one :meth:`SlottedModel.handle_batch` per slot.
+
+        The whole trace is bucketed into slots with a single
+        ``np.searchsorted`` against the slot boundaries; waiting times are
+        accumulated per batch with a running-sum continuation (``cumsum``
+        seeded with the running total is the same left-to-right fold the
+        scalar path performs, so the mean is bit-for-bit identical).
+        Memory stays bounded: no per-request Python objects, a fixed-size
+        wait sketch, and the protocol releases slots as the loop advances.
+        """
+        d = self.slot_duration
+        protocol = self.protocol
+        metrics = self.metrics
+        horizon = self.horizon_slots
+        warmup = self.warmup_slots
+        recorder = SlotLoadRecorder(
+            warmup, keep_series=self.keep_series, registry=metrics
+        )
+        weight_stats = OnlineStats()
+        wait_sketch = BinnedQuantileSketch(d, WAIT_SKETCH_BINS)
+        if metrics is not None:
+            protocol.bind_metrics(metrics)
+            run_span = metrics.timer("sim.run_seconds").time()
+            run_span.__enter__()
+
+        # Slot boundaries (s+1)*d, computed exactly as the scalar loop does
+        # (int -> float64 conversion then one multiply); cuts[s] counts the
+        # arrivals strictly before the end of slot s.
+        boundaries = np.arange(1, horizon + 1, dtype=np.int64) * d
+        cuts = np.searchsorted(arrivals, boundaries, side="left").tolist()
+        n_within = cuts[-1]
+        # Arrivals before the simulated epoch (t < 0) land in slot 0's
+        # bucket but are never delivered — same rule as the scalar loop.
+        ignored = int(np.searchsorted(arrivals, 0.0, side="left"))
+
+        record = recorder.record
+        add_weight = weight_stats.add
+        slot_load = protocol.slot_load
+        slot_weight = protocol.slot_weight
+        handle_batch = protocol.handle_batch
+        release_before = protocol.release_before
+        sketch_add_array = wait_sketch.add_array
+        wait_sum = 0.0
+        wait_max = 0.0
+        measured_requests = 0
+        begin = ignored
+        for slot in range(horizon):
+            record(slot, slot_load(slot))
+            if slot >= warmup:
+                add_weight(slot_weight(slot))
+            end = cuts[slot]
+            count = end - begin
+            if count:
+                handle_batch(slot, count)
+                if slot >= warmup:
+                    if count == 1:
+                        # Scalar shortcut: same float64 ops, no array temps.
+                        wait = float(boundaries[slot]) - float(arrivals[begin])
+                        wait_sum += wait
+                        if wait > wait_max:
+                            wait_max = wait
+                        wait_sketch.add(wait)
+                    else:
+                        waits = boundaries[slot] - arrivals[begin:end]
+                        sketch_add_array(waits)
+                        block_max = float(waits.max())
+                        if block_max > wait_max:
+                            wait_max = block_max
+                        # cumsum seeded with the running total IS the
+                        # scalar path's sequential fold, bit for bit.
+                        waits[0] += wait_sum
+                        wait_sum = float(waits.cumsum()[-1])
+                    measured_requests += count
+                begin = end
+            release_before(slot)
+
+        recorder.finish()
+        if metrics is not None:
+            run_span.__exit__(None, None, None)
+            metrics.counter("sim.slots").inc(horizon)
+            metrics.counter("sim.requests").inc(n_within - ignored)
+            metrics.counter("sim.arrivals_ignored").inc(ignored)
+            metrics.gauge("sim.warmup_slots").set(warmup)
+        return self._result(
+            recorder, weight_stats, wait_sketch, wait_sum, wait_max,
+            measured_requests, columnar=True,
+        )
+
+    def _result(
+        self,
+        recorder: SlotLoadRecorder,
+        weight_stats: OnlineStats,
+        wait_sketch: BinnedQuantileSketch,
+        wait_sum: float,
+        wait_max: float,
+        measured_requests: int,
+        columnar: bool,
+    ) -> SlottedResult:
+        """Reduce the shared accumulators to a :class:`SlottedResult`."""
         return SlottedResult(
-            slot_duration=d,
+            slot_duration=self.slot_duration,
             slots_measured=recorder.slots_measured,
             mean_streams=recorder.mean_load,
             max_streams=recorder.max_load,
             n_requests=measured_requests,
-            mean_wait=sum(waits) / measured_requests if measured_requests else 0.0,
-            max_wait=max(waits) if waits else 0.0,
+            mean_wait=wait_sum / measured_requests if measured_requests else 0.0,
+            max_wait=wait_max,
             mean_weight=weight_stats.mean,
             max_weight=weight_stats.maximum if weight_stats.count else 0.0,
             series=recorder.series,
+            wait_p50=wait_sketch.quantile(0.5) if measured_requests else 0.0,
+            wait_p99=wait_sketch.quantile(0.99) if measured_requests else 0.0,
+            columnar=columnar,
         )

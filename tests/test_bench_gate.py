@@ -21,19 +21,28 @@ VERIFIED_BENCHES = (
     "fig7_quick_parallel",
     "cluster_quick_parallel",
     "runtime_quick",
+    "fig7_columnar",
 )
 
+#: Benches whose fresh detail must stay under the peak-RSS ceiling.
+MEMORY_BENCHES = ("micro_dhb_10m", "fig7_columnar")
 
-def _report(seconds_by_name, calibration=0.05, verified=1):
+
+def _report(
+    seconds_by_name, calibration=0.05, verified=1, rss_mb=200.0, speedup=8.0
+):
     seconds_by_name = dict(seconds_by_name)
-    for name in VERIFIED_BENCHES:
+    for name in VERIFIED_BENCHES + MEMORY_BENCHES:
         seconds_by_name.setdefault(name, 0.5)
     benches = {
         name: {"seconds": seconds, "detail": {}}
         for name, seconds in seconds_by_name.items()
     }
     for name in VERIFIED_BENCHES:
-        benches[name]["detail"] = {"verified": verified}
+        benches[name]["detail"]["verified"] = verified
+    for name in MEMORY_BENCHES:
+        benches[name]["detail"]["peak_rss_mb"] = rss_mb
+    benches["micro_dhb_10m"]["detail"]["speedup_vs_scalar"] = speedup
     return {
         "schema": 1,
         "calibration_seconds": calibration,
@@ -95,6 +104,27 @@ class TestCompare:
         _lines, failures = compare(fresh, baseline)
         assert any("equality" in failure for failure in failures)
 
+    def test_memory_ceiling_fails(self):
+        baseline = _report({})
+        fresh = _report({}, rss_mb=2048.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("peak RSS" in failure for failure in failures)
+        assert len(failures) == len(MEMORY_BENCHES)
+
+    def test_missing_rss_detail_fails(self):
+        baseline = _report({})
+        fresh = _report({})
+        for name in MEMORY_BENCHES:
+            del fresh["benches"][name]["detail"]["peak_rss_mb"]
+        _lines, failures = compare(fresh, baseline)
+        assert any("peak_rss_mb" in failure for failure in failures)
+
+    def test_low_columnar_speedup_fails(self):
+        baseline = _report({})
+        fresh = _report({}, speedup=3.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("speedup" in failure for failure in failures)
+
 
 class TestMain:
     def _write(self, path, report):
@@ -123,3 +153,8 @@ class TestMain:
         for name in VERIFIED_BENCHES:
             assert name in baseline["benches"]
             assert baseline["benches"][name]["detail"]["verified"] == 1
+        for name in MEMORY_BENCHES:
+            assert baseline["benches"][name]["detail"]["peak_rss_mb"] < 1024.0
+        assert baseline["benches"]["micro_dhb_10m"]["detail"][
+            "speedup_vs_scalar"
+        ] >= 5.0
