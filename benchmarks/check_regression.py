@@ -16,10 +16,12 @@ the hot loop" tripwire, not a microbenchmark suite:
 * **Noise floor.**  A fixed floor is added to both sides of the ratio so
   microsecond-scale benches cannot trip the gate on scheduler jitter.
 * **Determinism check.**  The fresh ``fig7_quick_parallel``,
-  ``cluster_quick_parallel``, ``runtime_quick`` and ``fig7_columnar``
-  benches must report ``verified: 1`` — the serial/parallel and
-  columnar/scalar bit-for-bit equality invariants are part of the gate,
-  not just the timings.
+  ``cluster_quick_parallel``, ``runtime_quick``, ``fig7_columnar`` and
+  ``checkpoint_resume_quick`` benches must report ``verified: 1`` — the
+  serial/parallel, columnar/scalar and checkpoint-resume bit-for-bit
+  equality invariants are part of the gate, not just the timings.
+* **Checkpoint overhead ceiling.**  ``checkpoint_resume_quick`` must keep
+  the journaling overhead on the quick sweep under 5%.
 * **Memory and throughput ceilings.**  The columnar benches gate peak RSS
   (``micro_dhb_10m`` and ``fig7_columnar`` must stay under 1 GiB — the
   streaming-statistics promise) and ``micro_dhb_10m`` must hold a >= 5x
@@ -59,6 +61,9 @@ MEMORY_CEILING_MB = 1024.0
 
 #: Minimum measured columnar/scalar throughput ratio for ``micro_dhb_10m``.
 MIN_COLUMNAR_SPEEDUP = 5.0
+
+#: Maximum journaling overhead (%) for ``checkpoint_resume_quick``.
+MAX_CHECKPOINT_OVERHEAD_PCT = 5.0
 
 
 def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
@@ -112,6 +117,7 @@ def compare(
         "cluster_quick_parallel",
         "runtime_quick",
         "fig7_columnar",
+        "checkpoint_resume_quick",
     ):
         parallel = fresh_benches.get(verified_bench, {}).get("detail", {})
         if parallel.get("verified") != 1:
@@ -153,6 +159,22 @@ def compare(
         lines.append(
             f"{'micro_dhb_10m':28s}   columnar x{float(speedup):.1f} "
             f">= {MIN_COLUMNAR_SPEEDUP:.0f}x scalar"
+        )
+    overhead = (
+        fresh_benches.get("checkpoint_resume_quick", {})
+        .get("detail", {})
+        .get("overhead_pct")
+    )
+    if overhead is None or float(overhead) >= MAX_CHECKPOINT_OVERHEAD_PCT:
+        failures.append(
+            f"checkpoint_resume_quick: journaling overhead {overhead!r}% not "
+            f"under {MAX_CHECKPOINT_OVERHEAD_PCT}%"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'checkpoint_resume_quick':28s}   journaling overhead "
+            f"{float(overhead):.2f}% < {MAX_CHECKPOINT_OVERHEAD_PCT:.0f}%"
         )
     return lines, failures
 

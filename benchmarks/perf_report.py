@@ -246,6 +246,77 @@ def bench_runtime_quick() -> Dict[str, float]:
     return {"specs": len(specs), "verified": 1}
 
 
+def bench_checkpoint_resume_quick() -> Dict[str, float]:
+    """Checkpointed quick sweep: journaling overhead plus a resume check.
+
+    Times the quick Figure-7 grid twice on a serial Engine — bare, then
+    journaling every cell into a fresh :class:`CheckpointStore` — and
+    records the checkpoint overhead as a percentage (the regression gate
+    requires < 5%).  A third run resumes over the journal and must
+    replay every cell without executing any (the ``execution_count``
+    probe), which is what makes the entry ``verified``.
+    """
+    import tempfile
+
+    from repro.runtime import (
+        CheckpointStore,
+        SerialBackend,
+        execution_count,
+        reset_execution_count,
+    )
+
+    names = [name for name, _ in FIG7_PROTOCOLS]
+    specs = sweep_grid(names, QUICK_CONFIG)
+
+    def best_of(run, repeats=3):
+        best = float("inf")
+        value = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            value = run()
+            best = min(best, time.perf_counter() - start)
+        return best, value
+
+    # Trace caches stay warm across the inner repeats on purpose: both
+    # sides then time pure simulation + (for one side) journaling, so the
+    # overhead ratio is not swamped by arrival-trace regeneration noise.
+    bare_seconds, bare = best_of(
+        lambda: Engine(backend=SerialBackend()).run_values(specs)
+    )
+
+    def checkpointed():
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(pathlib.Path(tmp) / "bench.ckpt")
+            with Engine(backend=SerialBackend(), checkpoint=store) as engine:
+                return engine.run_values(specs)
+
+    checkpointed_seconds, journaled = best_of(checkpointed)
+    if journaled != bare:
+        raise AssertionError("checkpointed sweep diverged from bare sweep")
+    overhead_pct = 100.0 * (checkpointed_seconds - bare_seconds) / bare_seconds
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(pathlib.Path(tmp) / "bench.ckpt")
+        with Engine(backend=SerialBackend(), checkpoint=store) as engine:
+            engine.run_values(specs)
+        reset_execution_count()
+        resume_store = CheckpointStore(pathlib.Path(tmp) / "bench.ckpt")
+        with Engine(backend=SerialBackend(), checkpoint=resume_store) as engine:
+            resumed = engine.run_values(specs)
+    if resumed != bare:
+        raise AssertionError("resumed sweep diverged from bare sweep")
+    if execution_count() != 0:
+        raise AssertionError(
+            f"resume re-executed {execution_count()} journaled specs"
+        )
+
+    return {
+        "specs": len(specs),
+        "overhead_pct": round(overhead_pct, 2),
+        "verified": 1,
+    }
+
+
 BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "micro_dhb_saturated": bench_dhb_saturated,
     "micro_dhb_cold": bench_dhb_cold,
@@ -257,6 +328,7 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "cluster_quick": bench_cluster_quick,
     "cluster_quick_parallel": bench_cluster_parallel,
     "runtime_quick": bench_runtime_quick,
+    "checkpoint_resume_quick": bench_checkpoint_resume_quick,
 }
 
 

@@ -9,14 +9,37 @@ Usage::
     repro-cli ablations [--quick]
     repro-cli variants         # the Section 4 DHB-a..d derivation table
     repro-cli cluster [--quick] [--scenario baseline|skewed|crash|all]
+    repro-cli worker --connect HOST:PORT   # join a socket coordinator
 
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
-workload seed.  ``--jobs N`` runs every command on an N-worker execution
-engine (``-1`` = all cores; without the flag the ``REPRO_SWEEP_JOBS``
-environment variable applies, else serial) — results are bit-for-bit
-identical either way.  ``cluster`` runs the multi-server scenarios of
+workload seed.  ``cluster`` runs the multi-server scenarios of
 ``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three).
+
+Execution is pluggable (results are bit-for-bit identical on every
+backend — see ``docs/ARCHITECTURE.md``)::
+
+    repro-cli fig7 --workers 4                      # local process pool
+    repro-cli fig7 --backend socket --workers 2     # 2 loopback socket workers
+    repro-cli fig7 --backend socket --bind 0.0.0.0:9000 --workers 2
+    repro-cli worker --connect coordinator-host:9000
+
+``--workers N`` (alias ``--jobs``) sizes the engine (``-1`` = all cores;
+default: the ``REPRO_SWEEP_JOBS`` environment variable, else serial).
+``--backend`` picks serial / process / socket explicitly.  With
+``--backend socket`` the command spawns its own loopback workers unless
+``--bind`` is given, in which case it waits for ``--workers`` external
+``repro-cli worker`` processes to register.
+
+Long sweeps survive interruption with a checkpoint journal::
+
+    repro-cli fig7 --checkpoint fig7.ckpt       # journal as results land
+    repro-cli fig7 --checkpoint fig7.ckpt       # re-run: completed cells skipped
+    repro-cli fig7 --checkpoint fig7.ckpt --resume  # same, but requires the file
+
+Completed cells are keyed by a content digest of their spec, so a resumed
+run reproduces the uninterrupted run's output exactly without re-executing
+finished work (``--resume`` merely *insists* the journal already exists).
 
 The measured commands (fig7, fig8, fig9, cluster) also accept
 observability outputs (see ``docs/OBSERVABILITY.md`` for the schemas)::
@@ -55,7 +78,7 @@ from .experiments.fig7 import FIG7_PROTOCOLS, report_fig7, run_fig7
 from .experiments.fig8 import FIG8_PROTOCOLS, report_fig8, run_fig8
 from .experiments.fig9 import FIG9_MAX_WAIT, FIG9_SERIES, report_fig9, run_fig9
 from .obs.trace import JsonlTraceSink, Observation
-from .runtime import Engine, RunSpec, observed_run
+from .runtime import CheckpointStore, Engine, RunSpec, observed_run
 from .units import KILOBYTE
 from .video.matrix import matrix_like_video
 
@@ -74,8 +97,28 @@ def _config(args: argparse.Namespace) -> SweepConfig:
 
 
 def _engine(args: argparse.Namespace) -> Engine:
-    """The command's execution engine (``--jobs``, else ``REPRO_SWEEP_JOBS``)."""
-    return Engine(n_jobs=args.jobs)
+    """The command's execution engine, built from the backend/worker flags.
+
+    ``--backend socket`` without ``--bind`` spawns its own loopback
+    workers; with ``--bind`` it listens there and waits for ``--workers``
+    external ``repro-cli worker`` registrations.  ``--checkpoint`` attaches
+    a :class:`~repro.runtime.CheckpointStore` journaling every completed
+    cell.  Commands close the engine (workers, journal) when done.
+    """
+    backend = args.backend
+    if backend == "socket":
+        from .runtime.backends import SocketWorkerBackend, parse_address
+
+        workers = max(1, args.jobs if args.jobs is not None else 1)
+        if args.bind:
+            host, port = parse_address(args.bind)
+            backend = SocketWorkerBackend(
+                host=host, port=port, min_workers=workers
+            )
+        else:
+            backend = SocketWorkerBackend(spawn_workers=workers)
+    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    return Engine(n_jobs=args.jobs, backend=backend, checkpoint=checkpoint)
 
 
 class _ObservedRun:
@@ -129,34 +172,38 @@ def _observed(
 
 def _cmd_figures(args: argparse.Namespace) -> str:
     specs = [RunSpec("figure-render", (), label="figures 1-5")]
-    return _engine(args).run_values(specs)[0]
+    with _engine(args) as engine:
+        return engine.run_values(specs)[0]
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG7_PROTOCOLS]
     with _observed(args, "fig7", labels, asdict(config), config.seed) as run:
-        return report_fig7(
-            run_fig7(config, observation=run.observation, engine=_engine(args))
-        )
+        with _engine(args) as engine:
+            return report_fig7(
+                run_fig7(config, observation=run.observation, engine=engine)
+            )
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = [label for _, label in FIG8_PROTOCOLS]
     with _observed(args, "fig8", labels, asdict(config), config.seed) as run:
-        return report_fig8(
-            run_fig8(config, observation=run.observation, engine=_engine(args))
-        )
+        with _engine(args) as engine:
+            return report_fig8(
+                run_fig8(config, observation=run.observation, engine=engine)
+            )
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
     config = _config(args)
     labels = list(FIG9_SERIES)
     with _observed(args, "fig9", labels, asdict(config), config.seed) as run:
-        return report_fig9(
-            run_fig9(config, observation=run.observation, engine=_engine(args))
-        )
+        with _engine(args) as engine:
+            return report_fig9(
+                run_fig9(config, observation=run.observation, engine=engine)
+            )
 
 
 def _cmd_variants(args: argparse.Namespace) -> str:
@@ -187,7 +234,11 @@ def _cmd_variants(args: argparse.Namespace) -> str:
 
 def _cmd_ablations(args: argparse.Namespace) -> str:
     config = _config(args)
-    engine = _engine(args)
+    with _engine(args) as engine:
+        return _render_ablations(config, engine)
+
+
+def _render_ablations(config: SweepConfig, engine: Engine) -> str:
     parts: List[str] = []
     heuristic_series = heuristic_ablation(config, engine=engine)
     parts.append("Heuristic ablation (mean streams):")
@@ -227,9 +278,10 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
         "protocol": scenarios[0].protocol,
     }
     with _observed(args, "cluster", labels, params, args.seed) as run:
-        results = run_scenarios(
-            scenarios, observation=run.observation, engine=_engine(args)
-        )
+        with _engine(args) as engine:
+            results = run_scenarios(
+                scenarios, observation=run.observation, engine=engine
+            )
     parts = []
     for scenario, result in zip(scenarios, results):
         parts.append(
@@ -247,9 +299,10 @@ def _cmd_catalog(args: argparse.Namespace) -> str:
         base_hours=10.0 if not args.quick else 3.0,
         min_requests=60 if not args.quick else 15,
     )
-    result = run_catalog(
-        n_videos=10, total_rate_per_hour=300.0, config=config, engine=_engine(args)
-    )
+    with _engine(args) as engine:
+        result = run_catalog(
+            n_videos=10, total_rate_per_hour=300.0, config=config, engine=engine
+        )
     header = (
         "Catalog provisioning: 10 titles, Zipf(1.0) popularity, "
         "300 requests/hour total\n"
@@ -278,20 +331,65 @@ def build_parser() -> argparse.ArgumentParser:
             "Protocol for Video-on-Demand' (ICDCS 2001)."
         ),
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS), help="what to run")
+    parser.add_argument(
+        "command",
+        choices=sorted([*_COMMANDS, "worker"]),
+        help="what to run (worker: join a socket coordinator)",
+    )
     parser.add_argument(
         "--quick", action="store_true", help="short horizons / few rates"
     )
     parser.add_argument("--seed", type=int, default=2001, help="workload seed")
     parser.add_argument(
         "--jobs",
+        "--workers",
+        dest="jobs",
         type=int,
         default=None,
         metavar="N",
         help=(
-            "worker processes for the execution engine "
+            "workers for the execution engine "
             "(default: REPRO_SWEEP_JOBS or serial; -1 = all cores)"
         ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "process", "socket"),
+        default=None,
+        help=(
+            "execution backend (default: REPRO_BACKEND, else picked from "
+            "the worker count); results are identical on every backend"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "with --backend socket: listen here and wait for --workers "
+            "external 'repro-cli worker' registrations instead of "
+            "spawning loopback workers"
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="worker command only: the coordinator to register with",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "journal completed cells here and skip ones already journaled "
+            "(append-only; safe to re-run after an interruption)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="require --checkpoint PATH to already exist (strict resume)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -318,6 +416,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "worker":
+        if not args.connect:
+            parser.error("worker requires --connect HOST:PORT")
+        from .runtime.backends import worker_main
+
+        return worker_main(args.connect)
+    if args.connect:
+        parser.error("--connect only applies to the worker command")
     if (args.metrics_out or args.trace_out) and args.command not in OBSERVABLE_COMMANDS:
         parser.error(
             f"--metrics-out/--trace-out only apply to "
@@ -325,6 +431,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.scenario != "all" and args.command != "cluster":
         parser.error("--scenario only applies to the cluster command")
+    if args.bind and args.backend != "socket":
+        parser.error("--bind only applies with --backend socket")
+    if args.resume:
+        if not args.checkpoint:
+            parser.error("--resume requires --checkpoint PATH")
+        if not pathlib.Path(args.checkpoint).exists():
+            parser.error(
+                f"--resume: checkpoint journal {args.checkpoint!r} does not exist"
+            )
     output = _COMMANDS[args.command](args)
     try:
         print(output)

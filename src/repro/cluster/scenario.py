@@ -513,8 +513,10 @@ def run_scenarios(
     discipline every runtime fan-out shares — see
     :mod:`repro.runtime.engine`).  ``n_jobs`` resolves through the runtime
     config (explicit argument, then ``REPRO_SWEEP_JOBS``, then serial) and
-    is ignored when an ``engine`` is given; pool failures degrade to
-    serial.
+    is ignored when an ``engine`` is given.  The engine's execution
+    backend decides where scenarios run (serial, process pool, socket
+    workers); backend failures degrade to serial, and an engine carrying a
+    checkpoint store resumes interrupted scenario batches.
     """
     from ..runtime import Engine
 

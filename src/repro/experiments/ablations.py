@@ -131,6 +131,8 @@ def _run_study(
     observation: Optional[Observation],
     engine: Optional[Engine],
 ) -> List[ProtocolSeries]:
+    # One "ablation-series" spec per arm: arms fan out across the engine's
+    # execution backend and journal individually under a checkpoint store.
     if config is None:
         config = SweepConfig()
     if engine is None:

@@ -148,7 +148,8 @@ def run_catalog(
 
     Each title gets its own seeded Poisson stream at its Zipf share of the
     aggregate rate; DHB and stream tapping are simulated per title (one
-    ``"catalog-title"`` Engine task per title, so titles parallelise),
+    ``"catalog-title"`` Engine task per title, so titles fan out across
+    the Engine's execution backend and checkpoint like any other spec),
     NPB's cost is its fixed allocation.
     """
     if n_videos < 1:

@@ -45,8 +45,10 @@ def run_fig7(
     Returns one :class:`~repro.analysis.metrics.ProtocolSeries` per
     protocol, in legend order.  ``observation`` threads a metrics registry
     and optional per-slot trace sink through every measured point;
-    ``engine`` runs the grid on an existing runtime Engine (parallelism,
-    caching).
+    ``engine`` runs the grid on an existing runtime Engine, which picks
+    the execution backend (serial, process pool, socket workers) and may
+    journal completed cells to a :class:`~repro.runtime.CheckpointStore`
+    so an interrupted regeneration resumes where it stopped.
     """
     if config is None:
         config = SweepConfig()

@@ -33,7 +33,12 @@ def run_fig8(
     observation: Optional[Observation] = None,
     engine: Optional[Engine] = None,
 ) -> List[ProtocolSeries]:
-    """Regenerate Figure 8's three series (optionally on a shared Engine)."""
+    """Regenerate Figure 8's three series (optionally on a shared Engine).
+
+    The Engine decides *where* the grid runs (any execution backend) and
+    whether completed cells are checkpointed; the series are identical
+    either way.
+    """
     if config is None:
         config = SweepConfig()
     names = [name for name, _ in FIG8_PROTOCOLS]

@@ -114,7 +114,9 @@ def run_fig9(
     """Regenerate Figure 9's five series (bandwidths in bytes/second).
 
     Each series is one ``"fig9-series"`` spec on the runtime Engine, so
-    the five series parallelise across workers when the Engine has them.
+    the five series fan out across whatever execution backend the Engine
+    resolved (process pool, socket workers) and are resumable when the
+    Engine carries a checkpoint store.
     ``observation`` threads the metrics registry and optional per-slot
     trace sink through every measured point; records arrive in task order
     (all of UD's rates, then DHB-a's, ...), merged identically in serial

@@ -372,7 +372,12 @@ def sweep_protocols(
         report exactly the serial metrics too.
     engine:
         An existing :class:`~repro.runtime.engine.Engine` to run on
-        (entry points that execute several studies share one).
+        (entry points that execute several studies share one).  The
+        engine selects the execution backend — serial, process pool, or
+        socket workers (:mod:`repro.runtime.backends`) — and, when built
+        with a :class:`~repro.runtime.CheckpointStore`, journals each
+        completed grid cell so an interrupted sweep resumes without
+        re-simulating finished cells.
     """
     if labels is None:
         labels = list(names)

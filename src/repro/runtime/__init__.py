@@ -3,22 +3,35 @@
 One pipeline under every entry point::
 
     RunSpec  --Engine-->  RunResult
-      |                      |
-      seeds (deterministic derivation)   observability (merged in task order)
-      cache (bounded shared LRU)         pool (the one process pool)
+      |          |             |
+      |       backend          observability (merged in task order)
+      |       (serial ·        checkpoint (digest-keyed result journal)
+      |        process pool ·
+      |        socket workers)
+      seeds (deterministic derivation) · cache (bounded shared LRU)
 
 Figure sweeps, cluster scenario batches, ablations, the catalog study, the
 CLI, and the benches all describe their work as :class:`RunSpec` batches
-and execute them through one :class:`Engine`, which provides parallelism
-(``REPRO_SWEEP_JOBS`` / ``n_jobs``), bounded trace caching, deterministic
-seed derivation, and uniform metrics/manifest/trace threading — bit-for-bit
-identical results in serial and pooled modes.
+and execute them through one :class:`Engine`, which resolves exactly one
+:class:`~repro.runtime.backends.base.ExecutionBackend`
+(``--backend``/``REPRO_BACKEND``/worker count), journals completed results
+when given a :class:`CheckpointStore`, and threads metrics/manifest/trace
+state uniformly — bit-for-bit identical results on every backend, and on
+a resumed run versus an uninterrupted one.
 
 See ``docs/ARCHITECTURE.md`` for the layering diagram and the migration
 notes for the pre-runtime entry points
 (:mod:`repro.experiments.parallel` is now a thin shim over this package).
 """
 
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RemoteTaskError,
+    SerialBackend,
+    SocketWorkerBackend,
+    resolve_backend,
+)
 from .cache import (
     ARRIVAL_CACHE,
     CacheInfo,
@@ -28,7 +41,9 @@ from .cache import (
     configure_cache,
     record_cache_metrics,
 )
+from .checkpoint import CheckpointStore, spec_digest
 from .config import (
+    BACKEND_ENV,
     DEFAULT_CONFIG,
     DEFAULT_SEED,
     N_JOBS_ENV,
@@ -40,21 +55,35 @@ from .engine import Engine
 from .observing import ObservedRun, observed_run
 from .seeds import arrival_trace, derive_stream, replication_seed
 from .spec import RunResult, RunSpec
-from .tasks import BUILTIN_KINDS, execute_spec, register_kind, resolve_kind
+from .tasks import (
+    BUILTIN_KINDS,
+    execute_spec,
+    execution_count,
+    register_kind,
+    reset_execution_count,
+    resolve_kind,
+)
 
 __all__ = [
     "ARRIVAL_CACHE",
+    "BACKEND_ENV",
     "BUILTIN_KINDS",
     "CacheInfo",
+    "CheckpointStore",
     "DEFAULT_CONFIG",
     "DEFAULT_SEED",
     "Engine",
+    "ExecutionBackend",
     "LRUCache",
     "N_JOBS_ENV",
     "ObservedRun",
+    "ProcessPoolBackend",
+    "RemoteTaskError",
     "RunResult",
     "RunSpec",
     "RuntimeConfig",
+    "SerialBackend",
+    "SocketWorkerBackend",
     "TRACE_CACHE_ENV",
     "arrival_trace",
     "cache_info",
@@ -62,10 +91,14 @@ __all__ = [
     "configure_cache",
     "derive_stream",
     "execute_spec",
+    "execution_count",
     "observed_run",
     "record_cache_metrics",
     "register_kind",
     "replication_seed",
+    "reset_execution_count",
+    "resolve_backend",
     "resolve_kind",
     "resolve_n_jobs",
+    "spec_digest",
 ]

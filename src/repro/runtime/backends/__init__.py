@@ -1,0 +1,37 @@
+"""repro.runtime.backends — where task batches actually execute.
+
+The one corner of the codebase allowed to import ``concurrent.futures``,
+``multiprocessing``, or ``socket`` (lint rule RT100 / ruff TID251):
+everything else submits :class:`~repro.runtime.spec.RunSpec` batches to
+the Engine, which resolves exactly one :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — inline loop, the determinism baseline;
+* :class:`ProcessPoolBackend` — local process pool with graceful serial
+  degradation (spawn failure *and* mid-batch worker death);
+* :class:`SocketWorkerBackend` — TCP coordinator + ``repro-cli worker``
+  processes, local or remote, with task reassignment on worker loss.
+
+All three satisfy the same contract — results in task order, bit-for-bit
+identical to serial — pinned by ``tests/runtime/test_backends.py``.
+"""
+
+from .base import ExecutionBackend, resolve_backend
+from .process_pool import ProcessPoolBackend
+from .serial import SerialBackend
+from .socket_worker import (
+    RemoteTaskError,
+    SocketWorkerBackend,
+    parse_address,
+    worker_main,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "RemoteTaskError",
+    "SerialBackend",
+    "SocketWorkerBackend",
+    "parse_address",
+    "resolve_backend",
+    "worker_main",
+]

@@ -1,0 +1,123 @@
+"""The execution-backend interface: where batches of tasks actually run.
+
+An :class:`ExecutionBackend` turns ``(fn, tasks)`` into an ordered result
+list.  The Engine never touches pools or sockets itself — it resolves one
+backend (explicit instance > name > ``REPRO_BACKEND`` > worker-count
+default) and calls :meth:`~ExecutionBackend.submit_ordered`.  Three
+implementations ship with the runtime:
+
+* :class:`~repro.runtime.backends.serial.SerialBackend` — a plain loop in
+  the calling process (the historical ``n_jobs == 1`` short-circuit);
+* :class:`~repro.runtime.backends.process_pool.ProcessPoolBackend` — the
+  shared local process pool, with graceful serial degradation on spawn
+  failure and on mid-batch worker death;
+* :class:`~repro.runtime.backends.socket_worker.SocketWorkerBackend` — a
+  TCP coordinator fed by ``repro-cli worker`` processes (same box or
+  remote), with reassignment on worker loss.
+
+Contract
+--------
+``submit_ordered(fn, tasks, on_result=None)`` applies ``fn(*task)`` to
+every task and returns the results **in task order** regardless of
+completion order.  ``on_result(index, result)`` — when given — fires once
+per task *as results complete* (possibly out of order); the checkpoint
+layer journals through it so an interrupted batch keeps its finished
+cells.  Exceptions raised by ``fn`` itself propagate to the caller;
+infrastructure failures (a dying worker) are the backend's to absorb,
+counted in :attr:`~ExecutionBackend.degraded_events`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+
+Task = Tuple[Any, ...]
+ResultCallback = Callable[[int, Any], None]
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes ordered task batches; see the module docstring for the contract."""
+
+    #: Registry name (what ``--backend`` and ``REPRO_BACKEND`` accept).
+    name: str = "abstract"
+
+    #: Whether workers may live outside this process (other hosts included).
+    supports_remote: bool = False
+
+    #: Infrastructure failures absorbed so far (spawn failure, worker death).
+    degraded_events: int = 0
+
+    @abc.abstractmethod
+    def submit_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Task],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        """Apply ``fn(*task)`` to every task, results in task order."""
+
+    def close(self) -> None:
+        """Release workers/sockets; the backend is unusable afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def run_serial(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Task],
+        on_result: Optional[ResultCallback] = None,
+        skip: Optional[set] = None,
+    ) -> List[Any]:
+        """The shared in-process fallback loop every backend degrades to.
+
+        ``skip`` lists indexes whose ``on_result`` already fired (a batch
+        re-run after partial delivery must not journal a cell twice).
+        """
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            result = fn(*task)
+            results.append(result)
+            if on_result is not None and (skip is None or index not in skip):
+                on_result(index, result)
+        return results
+
+
+def resolve_backend(
+    backend: Any,
+    n_jobs: int = 1,
+) -> ExecutionBackend:
+    """An :class:`ExecutionBackend` instance from a name, instance, or ``None``.
+
+    ``None`` picks the historical default: serial for one worker, the
+    local process pool otherwise.  Accepted names: ``"serial"``,
+    ``"process"`` (alias ``"process-pool"``), ``"socket"`` (spawns
+    ``max(1, n_jobs)`` loopback workers; construct
+    :class:`SocketWorkerBackend` directly for multi-host runs).
+    """
+    from .process_pool import ProcessPoolBackend
+    from .serial import SerialBackend
+    from .socket_worker import SocketWorkerBackend
+
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        if n_jobs == 1:
+            return SerialBackend()
+        return ProcessPoolBackend(n_jobs)
+    if backend == "serial":
+        return SerialBackend()
+    if backend in ("process", "process-pool"):
+        return ProcessPoolBackend(max(1, n_jobs))
+    if backend == "socket":
+        return SocketWorkerBackend(spawn_workers=max(1, n_jobs))
+    raise ConfigurationError(
+        f"unknown execution backend {backend!r}; "
+        "known: serial, process, socket (or an ExecutionBackend instance)"
+    )

@@ -1,0 +1,30 @@
+"""The serial backend: a plain loop in the calling process.
+
+This is the historical Engine short-circuit path promoted to a backend:
+no pickling, no subprocesses, no import cost — and the reference
+implementation every other backend must match bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from .base import ExecutionBackend, ResultCallback, Task
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every task inline, in order; the determinism baseline."""
+
+    name = "serial"
+    supports_remote = False
+
+    def submit_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Task],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        return self.run_serial(fn, tasks, on_result)
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"

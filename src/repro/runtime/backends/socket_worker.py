@@ -1,0 +1,434 @@
+"""The socket-worker backend: a TCP coordinator fed by worker processes.
+
+This is the multi-host execution path.  The backend owns a listening
+socket; any number of ``repro-cli worker --connect HOST:PORT`` processes —
+on this box or others sharing the code and Python version — dial in,
+register, and then execute tasks streamed to them as length-prefixed
+pickle messages:
+
+.. code-block:: text
+
+    worker → coordinator   {"type": "register", "pid": ...}
+    coordinator → worker   {"type": "task", "batch": b, "index": i,
+                            "fn": callable, "args": tuple}
+    worker → coordinator   {"type": "result", "batch": b, "index": i,
+                            "ok": bool, "value"/"error": ...}
+    coordinator → worker   {"type": "shutdown"}
+
+Every frame is ``struct('!Q')`` body length followed by a pickle of one
+dict.  ``fn`` is pickled *by reference* (a module-level callable — in
+practice :func:`repro.runtime.tasks.execute_spec`), so workers only need
+the package importable; results are whole :class:`RunResult` values, so
+the Engine's task-order observability merge works unchanged.
+
+Failure handling mirrors the process pool's discipline:
+
+* a worker that disconnects mid-task has its task **reassigned** to the
+  next idle worker (up to ``max_retries`` per task, then the coordinator
+  runs the task inline — a task that keeps killing workers must not loop
+  forever);
+* if *every* worker is gone, the remaining tasks run inline in the
+  coordinator and the event is counted in ``degraded_events``;
+* an exception raised *inside* the task propagates to the caller as
+  :class:`RemoteTaskError` carrying the worker's traceback.
+
+For local use the backend can spawn its own loopback workers
+(``spawn_workers=N`` — what ``--backend socket`` does); for multi-host
+runs, bind a public address and start workers by hand.  The pickle
+protocol implies the usual trust model: only run workers and coordinators
+on hosts you control.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from .base import ExecutionBackend, ResultCallback, Task
+
+_LENGTH = struct.Struct("!Q")
+
+#: Sentinel marking a task whose result has not been collected yet.
+_PENDING = object()
+
+
+class RemoteTaskError(RuntimeError):
+    """A task function raised on a worker; carries the remote traceback."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; raises on malformed input."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise ConfigurationError(
+            f"worker address must be HOST:PORT, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"worker address port must be an integer, got {address!r}"
+        ) from None
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """One length-prefixed pickle frame."""
+    body = pickle.dumps(message, protocol=4)
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes; ``None`` on clean EOF before the first byte."""
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """One frame, or ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ConnectionError("peer closed between header and body")
+    return pickle.loads(body)
+
+
+class SocketWorkerBackend(ExecutionBackend):
+    """Coordinates registered TCP workers; see the module docstring.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  The default binds loopback on an ephemeral port
+        (read :attr:`address` to learn it); bind ``"0.0.0.0"`` with a
+        fixed port for multi-host runs.
+    spawn_workers:
+        Launch this many local ``repro-cli worker`` subprocesses pointed
+        at the coordinator (0 = external workers only).
+    min_workers:
+        Registrations to wait for before dispatching the first batch.
+        Defaults to ``spawn_workers`` when spawning, else 1.
+    register_timeout:
+        Seconds to wait for ``min_workers``; on expiry the batch proceeds
+        with whatever registered (inline, counted as degraded, if none).
+    max_retries:
+        Reassignments per task before the coordinator runs it inline.
+    """
+
+    name = "socket"
+    supports_remote = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: int = 0,
+        min_workers: Optional[int] = None,
+        register_timeout: float = 60.0,
+        max_retries: int = 2,
+    ):
+        self.degraded_events = 0
+        self.spawn_workers = max(0, int(spawn_workers))
+        self.min_workers = (
+            min_workers
+            if min_workers is not None
+            else (self.spawn_workers if self.spawn_workers else 1)
+        )
+        self.register_timeout = register_timeout
+        self.max_retries = max(0, int(max_retries))
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ)
+        self._workers: List[socket.socket] = []
+        self._spawned: List[subprocess.Popen] = []
+        self._batch = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The coordinator's actual (host, port)."""
+        return self._listener.getsockname()[:2]
+
+    def _spawn_local(self, count: int) -> None:
+        """Launch loopback ``repro-cli worker`` subprocesses."""
+        host, port = self.address
+        connect_host = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        source_root = pathlib.Path(__file__).resolve().parents[3]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(source_root)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        for _ in range(count):
+            self._spawned.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "worker",
+                        "--connect",
+                        f"{connect_host}:{port}",
+                    ],
+                    stdout=subprocess.DEVNULL,
+                    env=env,
+                )
+            )
+
+    def _accept_worker(self) -> None:
+        """Complete one registration handshake on the listener."""
+        try:
+            connection, _ = self._listener.accept()
+        except (BlockingIOError, OSError):
+            return
+        connection.settimeout(10.0)
+        try:
+            hello = recv_message(connection)
+        except (OSError, ConnectionError, pickle.UnpicklingError, EOFError):
+            connection.close()
+            return
+        if not hello or hello.get("type") != "register":
+            connection.close()
+            return
+        connection.settimeout(None)
+        self._workers.append(connection)
+        self._selector.register(connection, selectors.EVENT_READ)
+
+    def _drop_worker(self, worker: socket.socket) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            self._selector.unregister(worker)
+        except (KeyError, ValueError):
+            pass
+        worker.close()
+
+    def _ensure_workers(self) -> None:
+        """Spawn (once) and wait for ``min_workers`` registrations."""
+        if self.spawn_workers and not self._spawned:
+            self._spawn_local(self.spawn_workers)
+        deadline = time.monotonic() + self.register_timeout
+        while len(self._workers) < self.min_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            for key, _ in self._selector.select(timeout=min(remaining, 0.2)):
+                if key.fileobj is self._listener:
+                    self._accept_worker()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._workers):
+            try:
+                send_message(worker, {"type": "shutdown"})
+            except OSError:
+                pass
+            self._drop_worker(worker)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+        for process in self._spawned:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _run_inline(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Task],
+        index: int,
+        results: List[Any],
+        on_result: Optional[ResultCallback],
+    ) -> None:
+        results[index] = fn(*tasks[index])
+        if on_result is not None:
+            on_result(index, results[index])
+
+    def submit_ordered(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Task],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        if self._closed:
+            raise ConfigurationError("SocketWorkerBackend is closed")
+        if not tasks:
+            return []
+        self._ensure_workers()
+        self._batch += 1
+        batch = self._batch
+        results: List[Any] = [_PENDING] * len(tasks)
+        pending = deque(range(len(tasks)))
+        attempts = [0] * len(tasks)
+        inflight: Dict[socket.socket, int] = {}
+        idle = list(self._workers)
+        remaining = len(tasks)
+
+        def assign() -> None:
+            while pending and idle:
+                index = pending.popleft()
+                worker = idle.pop()
+                try:
+                    send_message(
+                        worker,
+                        {
+                            "type": "task",
+                            "batch": batch,
+                            "index": index,
+                            "fn": fn,
+                            "args": tuple(tasks[index]),
+                        },
+                    )
+                except OSError:
+                    self._drop_worker(worker)
+                    pending.appendleft(index)
+                    continue
+                inflight[worker] = index
+
+        def reassign(index: int) -> None:
+            nonlocal remaining
+            attempts[index] += 1
+            if attempts[index] > self.max_retries:
+                # The task keeps losing its worker; stop betting on the
+                # fleet and run it here so the batch still completes.
+                self.degraded_events += 1
+                self._run_inline(fn, tasks, index, results, on_result)
+                remaining -= 1
+            else:
+                pending.append(index)
+
+        while remaining:
+            assign()
+            if not self._workers and remaining:
+                # Every worker is gone: finish inline rather than hanging.
+                self.degraded_events += 1
+                leftovers = sorted(set(pending) | set(inflight.values()))
+                pending.clear()
+                inflight.clear()
+                for index in leftovers:
+                    self._run_inline(fn, tasks, index, results, on_result)
+                    remaining -= 1
+                break
+            for key, _ in self._selector.select(timeout=0.5):
+                sock = key.fileobj
+                if sock is self._listener:
+                    self._accept_worker()
+                    for worker in self._workers:
+                        if worker not in inflight and worker not in idle:
+                            idle.append(worker)
+                    continue
+                try:
+                    message = recv_message(sock)
+                except (OSError, ConnectionError, pickle.UnpicklingError, EOFError):
+                    message = None
+                if message is None:
+                    lost = inflight.pop(sock, None)
+                    if sock in idle:
+                        idle.remove(sock)
+                    self._drop_worker(sock)
+                    if lost is not None:
+                        reassign(lost)
+                    continue
+                if message.get("type") != "result":
+                    continue
+                inflight.pop(sock, None)
+                if sock in self._workers and sock not in idle:
+                    idle.append(sock)
+                if message.get("batch") != batch:
+                    continue  # stale result from an aborted batch
+                index = message["index"]
+                if not message.get("ok"):
+                    raise RemoteTaskError(
+                        f"task {index} failed on a socket worker:\n"
+                        f"{message.get('error', '<no traceback>')}"
+                    )
+                if results[index] is _PENDING:
+                    results[index] = message["value"]
+                    if on_result is not None:
+                        on_result(index, message["value"])
+                    remaining -= 1
+        return results
+
+    def __repr__(self) -> str:
+        host, port = self.address if not self._closed else ("closed", 0)
+        return (
+            f"SocketWorkerBackend({host}:{port}, workers={len(self._workers)}, "
+            f"spawn={self.spawn_workers})"
+        )
+
+
+def worker_main(address: str) -> int:
+    """The ``repro-cli worker`` loop: register, execute tasks, repeat.
+
+    Connects to the coordinator at ``HOST:PORT``, executes each streamed
+    task, and replies with its result (or the formatted traceback on
+    failure).  Returns when the coordinator shuts it down or the
+    connection closes.
+    """
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.settimeout(None)
+    try:
+        send_message(sock, {"type": "register", "pid": os.getpid()})
+        while True:
+            message = recv_message(sock)
+            if message is None or message.get("type") == "shutdown":
+                return 0
+            if message.get("type") != "task":
+                continue
+            try:
+                reply = {
+                    "type": "result",
+                    "batch": message.get("batch"),
+                    "index": message["index"],
+                    "ok": True,
+                    "value": message["fn"](*message["args"]),
+                }
+            except BaseException:  # the traceback travels; the worker lives
+                reply = {
+                    "type": "result",
+                    "batch": message.get("batch"),
+                    "index": message["index"],
+                    "ok": False,
+                    "error": traceback.format_exc(),
+                }
+            send_message(sock, reply)
+    finally:
+        sock.close()

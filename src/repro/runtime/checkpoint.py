@@ -1,0 +1,226 @@
+"""Checkpoint/resume for Engine batches: an append-only result journal.
+
+A thousand-scenario catalog or a multi-hour cluster study must survive
+interruption.  The contract that makes this possible is the same one that
+makes pooled execution bit-for-bit serial: every
+:class:`~repro.runtime.spec.RunSpec` is a *complete* description of its
+work, so a completed :class:`~repro.runtime.spec.RunResult` can be keyed
+by a stable content digest of the spec and replayed instead of re-executed.
+
+Journal format
+--------------
+A :class:`CheckpointStore` file is the 6-byte magic ``RPCK1\\n`` followed
+by framed records, each::
+
+    !I body-length | !I CRC-32 of body | body = pickle((digest, (value, metrics, trace)))
+
+Records are appended and flushed as results complete (backends deliver
+them through ``on_result`` streaming, so a batch interrupted mid-flight
+keeps every finished cell).  On open, the store replays the journal; a
+truncated or corrupted *trailing* record — the signature of a crash mid-
+write — is dropped and the file truncated to the last intact record
+rather than failing the resume.  Corruption anywhere earlier is a real
+error and raises.
+
+Digests
+-------
+:func:`spec_digest` hashes a canonical encoding of ``(kind, payload)``
+plus the observability mode (a result recorded without metrics must not
+satisfy a resume that needs them).  The encoding recurses through
+dataclasses, mappings, sequences, and numpy arrays by *value*, so the
+digest is stable across processes and runs — unlike ``hash()`` — and two
+specs describing the same work always collide onto one journal entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+import struct
+import warnings
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from .spec import RunResult, RunSpec
+
+#: Journal file magic: format name + version, newline-terminated.
+MAGIC = b"RPCK1\n"
+
+_FRAME = struct.Struct("!II")  # body length, CRC-32 of body
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """A journal record before the trailing one failed to decode."""
+
+
+# -- digests ---------------------------------------------------------------
+
+
+def _canonical(value: Any, out: "hashlib._Hash") -> None:
+    """Feed a canonical, type-tagged encoding of ``value`` to the hash."""
+    if value is None or isinstance(value, (bool, int)):
+        out.update(f"#{value!r};".encode())
+    elif isinstance(value, float):
+        out.update(f"f{value!r};".encode())
+    elif isinstance(value, str):
+        raw = value.encode()
+        out.update(b"s%d:" % len(raw) + raw)
+    elif isinstance(value, bytes):
+        out.update(b"b%d:" % len(value) + value)
+    elif isinstance(value, (tuple, list)):
+        out.update(b"(")
+        for item in value:
+            _canonical(item, out)
+        out.update(b")")
+    elif isinstance(value, (dict,)):
+        out.update(b"{")
+        for key in sorted(value, key=repr):
+            _canonical(key, out)
+            _canonical(value[key], out)
+        out.update(b"}")
+    elif isinstance(value, (set, frozenset)):
+        out.update(b"<")
+        for item in sorted(value, key=repr):
+            _canonical(item, out)
+        out.update(b">")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.update(f"@{type(value).__qualname__}".encode())
+        out.update(b"{")
+        for field in dataclasses.fields(value):
+            _canonical(field.name, out)
+            _canonical(getattr(value, field.name), out)
+        out.update(b"}")
+    elif type(value).__module__ == "numpy" and hasattr(value, "tobytes"):
+        out.update(
+            f"np{getattr(value, 'dtype', '?')}{getattr(value, 'shape', '?')}:".encode()
+        )
+        out.update(value.tobytes())
+    else:
+        # Last resort: pickle is deterministic for a fixed value graph
+        # within one Python/pickle version, which is also the scope in
+        # which a journal may be resumed.
+        out.update(f"!{type(value).__qualname__}:".encode())
+        out.update(pickle.dumps(value, protocol=4))
+
+
+def spec_digest(
+    spec: RunSpec, want_metrics: bool = False, want_trace: bool = False
+) -> str:
+    """The stable content key for one spec under one observability mode."""
+    digest = hashlib.sha256()
+    _canonical(
+        ("repro-spec", 1, spec.kind, spec.payload, bool(want_metrics), bool(want_trace)),
+        digest,
+    )
+    return digest.hexdigest()
+
+
+# -- the journal -----------------------------------------------------------
+
+
+class CheckpointStore:
+    """Digest-keyed append-only journal of completed :class:`RunResult` values.
+
+    >>> import tempfile, pathlib
+    >>> path = pathlib.Path(tempfile.mkdtemp()) / "sweep.ckpt"
+    >>> with CheckpointStore(path) as store:
+    ...     store.record("abc", RunResult("value", {}, []))
+    >>> with CheckpointStore(path) as store:
+    ...     ("abc" in store, store.get("abc").value, len(store))
+    (True, 'value', 1)
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._results: Dict[str, RunResult] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+        else:
+            self.path.write_bytes(MAGIC)
+        self._fh = open(self.path, "ab")
+
+    def _iter_records(self, raw: bytes) -> Iterator[Tuple[int, str, RunResult]]:
+        """Yield ``(end_offset, digest, result)`` for each intact record.
+
+        Stops (without raising) at a truncated or CRC-corrupt record —
+        the caller decides whether that is the tolerated trailing write
+        or mid-file damage worth raising over.
+        """
+        offset = len(MAGIC)
+        while offset < len(raw):
+            header = raw[offset : offset + _FRAME.size]
+            if len(header) < _FRAME.size:
+                return
+            length, checksum = _FRAME.unpack(header)
+            body = raw[offset + _FRAME.size : offset + _FRAME.size + length]
+            if len(body) < length or zlib.crc32(body) != checksum:
+                return
+            try:
+                digest, payload = pickle.loads(body)
+                result = RunResult(*payload)
+            except Exception:
+                return
+            offset += _FRAME.size + length
+            yield offset, digest, result
+
+    def _load(self) -> None:
+        raw = self.path.read_bytes()
+        if raw[: len(MAGIC)] != MAGIC:
+            raise CheckpointCorruptionError(
+                f"{self.path} is not a repro checkpoint journal "
+                f"(bad magic {raw[:len(MAGIC)]!r})"
+            )
+        good_end = len(MAGIC)
+        for end, digest, result in self._iter_records(raw):
+            self._results[digest] = result
+            good_end = end
+        if good_end < len(raw):
+            # A crash mid-append leaves a torn trailing record; drop it so
+            # the journal is clean for the appends this run will make.
+            warnings.warn(
+                f"checkpoint {self.path}: dropping {len(raw) - good_end} "
+                "trailing bytes (torn record from an interrupted run)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, digest: str, result: RunResult) -> None:
+        """Append one completed result and flush it to disk."""
+        body = pickle.dumps((digest, tuple(result)), protocol=4)
+        self._fh.write(_FRAME.pack(len(body), zlib.crc32(body)) + body)
+        self._fh.flush()
+        self._results[digest] = result
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        """The journaled result for ``digest``, or ``None``."""
+        return self._results.get(digest)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.path)!r}, completed={len(self)})"

@@ -18,14 +18,25 @@ Environment variables
 ``REPRO_SWEEP_JOBS``
     Worker processes for any :class:`~repro.runtime.engine.Engine` fan-out
     (``-1`` means "all cores"; unset means serial).
+``REPRO_BACKEND``
+    Default execution backend name (``serial`` or ``process``; ``socket``
+    needs addresses, so it is CLI/constructor-only).
 ``REPRO_TRACE_CACHE_SIZE``
     Maximum entries kept by the shared arrival-trace cache
     (:mod:`repro.runtime.cache`); default 64.
+
+The environment is *advisory*: a malformed value (``REPRO_SWEEP_JOBS=4x``,
+an unknown backend name) must never blow up deep inside an experiment the
+user launched without thinking about the runtime, so it falls back to the
+baked-in default with a :class:`RuntimeWarning`.  Explicit arguments and
+config fields are code, and invalid ones raise
+:class:`~repro.errors.ConfigurationError`.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -34,8 +45,15 @@ from ..errors import ConfigurationError
 #: Environment variable naming the default Engine worker count.
 N_JOBS_ENV = "REPRO_SWEEP_JOBS"
 
+#: Environment variable naming the default execution backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
 #: Environment variable bounding the shared arrival-trace cache.
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE_SIZE"
+
+#: Backend names the environment may select (socket needs addresses, so
+#: it is constructor/CLI-only; see repro.runtime.backends).
+ENV_BACKEND_NAMES = ("serial", "process", "process-pool")
 
 #: Serial execution when neither argument, config, nor environment say more.
 DEFAULT_N_JOBS = 1
@@ -64,14 +82,24 @@ QUICK_MIN_REQUESTS = 40
 
 
 def _env_int(name: str) -> Optional[int]:
-    """The environment variable as an int, ``None`` when unset/empty."""
+    """The environment variable as an int; ``None`` when unset/empty.
+
+    Malformed values (``"4x"``, ``"two"``) warn and return ``None`` —
+    the environment is advisory (see the module docstring), and a typo'd
+    shell export must not abort an experiment mid-sweep.
+    """
     raw = os.environ.get(name, "").strip()
     if not raw:
         return None
     try:
         return int(raw)
     except ValueError:
-        raise ConfigurationError(f"{name}={raw!r} is not an integer") from None
+        warnings.warn(
+            f"ignoring {name}={raw!r}: not an integer; using the default",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 @dataclass(frozen=True)
@@ -89,25 +117,61 @@ class RuntimeConfig:
 
     n_jobs: Optional[int] = None
     trace_cache_size: Optional[int] = None
+    backend: Optional[str] = None
 
     def resolve_n_jobs(self, explicit: Optional[int] = None) -> int:
         """The effective worker count (explicit > config > env > serial).
 
-        Negative values mean "all available cores"; zero is rejected.
+        Negative values mean "all available cores"; zero is rejected —
+        except from the environment, where any invalid value (malformed
+        or zero) warns and falls back to serial (advisory env contract).
         """
-        value = explicit
-        if value is None:
-            value = self.n_jobs
+        value = explicit if explicit is not None else self.n_jobs
+        from_env = False
         if value is None:
             value = _env_int(N_JOBS_ENV)
+            from_env = True
         if value is None:
             return DEFAULT_N_JOBS
         value = int(value)
         if value == 0:
+            if from_env:
+                warnings.warn(
+                    f"ignoring {N_JOBS_ENV}=0: worker count must be >= 1 "
+                    "or negative (all cores); running serial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return DEFAULT_N_JOBS
             raise ConfigurationError("n_jobs must be >= 1 or negative (all cores)")
         if value < 0:
             return os.cpu_count() or 1
         return value
+
+    def resolve_backend(self, explicit: Optional[str] = None) -> Optional[str]:
+        """The effective backend *name* (explicit > config > env > ``None``).
+
+        ``None`` means "let the Engine pick from the worker count".  An
+        unknown name from the environment warns and is ignored; explicit
+        and config values are validated by
+        :func:`repro.runtime.backends.resolve_backend` when the Engine
+        instantiates them.
+        """
+        value = explicit if explicit is not None else self.backend
+        if value is not None:
+            return value
+        raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+        if not raw:
+            return None
+        if raw not in ENV_BACKEND_NAMES:
+            warnings.warn(
+                f"ignoring {BACKEND_ENV}={raw!r}: not one of "
+                f"{'/'.join(ENV_BACKEND_NAMES)}; using the worker-count default",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return raw
 
     def resolve_trace_cache_size(self, explicit: Optional[int] = None) -> int:
         """The effective arrival-trace cache bound (>= 1)."""

@@ -1,24 +1,12 @@
-"""The one process-pool in the codebase.
+"""Deprecated shim over :mod:`repro.runtime.backends` (the pre-backend API).
 
-Every fan-out — figure sweeps, cluster scenario batches, benches — funnels
-through :func:`run_ordered`.  No other module imports
-``concurrent.futures`` or ``multiprocessing`` (``tools/lint.py`` enforces
-this), so pool policy — worker caps, degradation, future backends — has
-exactly one home.
-
-Semantics:
-
-* **Order-preserving.**  Results come back in task order regardless of
-  completion order, which is what makes pooled observability merges
-  deterministic.
-* **Serial short-circuit.**  ``n_jobs == 1`` (or a single task) never
-  touches pool machinery: no pickling, no subprocesses, no import cost.
-* **Graceful degradation.**  Environments that forbid pools (restricted
-  sandboxes, missing semaphores) raise ``OSError``/``PermissionError`` at
-  spawn; the batch then runs serially rather than failing.  Tasks must
-  therefore be deterministic pure functions of their (picklable)
-  arguments — which they are: that determinism is the bit-for-bit
-  serial/parallel contract.
+Before the backend refactor this module *was* the one process pool; every
+fan-out funnelled through :func:`run_ordered`.  The pool machinery now
+lives in :class:`repro.runtime.backends.ProcessPoolBackend` (with the same
+order-preserving, serial-short-circuit, degrade-gracefully semantics), and
+this module keeps the old entry point for legacy call sites such as
+:mod:`repro.experiments.parallel`.  New code should hand an
+:class:`~repro.runtime.backends.base.ExecutionBackend` to the Engine.
 """
 
 from __future__ import annotations
@@ -36,16 +24,10 @@ def run_ordered(
     ``fn`` must be a module-level callable and every task tuple picklable
     when ``n_jobs > 1`` (worker processes re-import and re-invoke them).
     """
-    if n_jobs == 1 or len(tasks) <= 1:
-        return [fn(*task) for task in tasks]
-    from concurrent.futures import ProcessPoolExecutor
+    from .backends import resolve_backend
 
-    workers = min(n_jobs, len(tasks))
+    backend = resolve_backend(None, n_jobs if len(tasks) > 1 else 1)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(fn, *task) for task in tasks]
-            return [future.result() for future in futures]
-    except (OSError, PermissionError):
-        # Pools need fork/spawn and semaphores; fall back to serial in
-        # environments that forbid them rather than failing the run.
-        return [fn(*task) for task in tasks]
+        return backend.submit_ordered(fn, list(tasks))
+    finally:
+        backend.close()

@@ -4,8 +4,12 @@ A :class:`RunSpec` is a *complete, picklable description* of one unit of
 work: a kind (which handler runs it — see :mod:`repro.runtime.tasks`) and
 a payload of plain values (protocol names, rates, configs, scenarios).
 Because the description is the whole input, the same spec always produces
-the same result — in this process, on a pool worker, today or in CI —
-which is the determinism contract every equivalence test pins.
+the same result — in this process, on a pool worker, on a socket worker
+on another host, today or in CI — which is the determinism contract every
+equivalence test pins.  It is also what makes checkpointing sound: a spec
+is keyed by a stable content digest of ``(kind, payload)``
+(:func:`repro.runtime.checkpoint.spec_digest`), so a journaled result can
+be replayed on resume instead of re-executed.
 
 A :class:`RunResult` carries the handler's return value plus the cell's
 portable observability state: a metrics snapshot

@@ -122,13 +122,33 @@ def resolve_kind(kind: str) -> Handler:
     return handler
 
 
+#: In-process count of execute_spec invocations — the checkpoint layer's
+#: "completed specs are not re-executed" probe.  Per process: pool and
+#: socket workers each count their own executions.
+_EXECUTIONS = 0
+
+
+def execution_count() -> int:
+    """How many specs this process has executed (see :data:`_EXECUTIONS`)."""
+    return _EXECUTIONS
+
+
+def reset_execution_count() -> None:
+    """Zero the in-process execution probe (tests and benches)."""
+    global _EXECUTIONS
+    _EXECUTIONS = 0
+
+
 def execute_spec(spec: RunSpec, want_metrics: bool, want_trace: bool) -> RunResult:
     """Execute one spec under a fresh, cell-local registry/sink.
 
-    This is the function pool workers run: module-level (picklable), and
-    everything it returns is a plain value.  Without observability it adds
-    nothing to the handler call — the disabled path costs no allocations.
+    This is the function workers run — pool processes and socket workers
+    alike: module-level (picklable by reference), and everything it
+    returns is a plain value.  Without observability it adds nothing to
+    the handler call — the disabled path costs no allocations.
     """
+    global _EXECUTIONS
+    _EXECUTIONS += 1
     handler = resolve_kind(spec.kind)
     if not want_metrics:
         return RunResult(handler(spec.payload, None), {}, [])

@@ -1,0 +1,210 @@
+"""Backend equivalence: Serial == ProcessPool == SocketWorker, bit for bit.
+
+The Engine's contract is that the backend is invisible in the outputs:
+the same spec batch must produce identical ``RunResult`` values *and*
+identical merged observability state (metrics + re-emitted trace records)
+however and wherever the cells ran.  These tests pin that, plus the
+failure discipline each backend owes the caller:
+
+* a task *raising* propagates (never silently degrades);
+* a *worker dying* degrades gracefully — the process pool re-runs the
+  batch serially once, the socket coordinator reassigns and ultimately
+  runs stubborn tasks inline — and the event surfaces as the
+  ``runtime.pool.degraded`` metric.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import MemoryTraceSink, Observation
+from repro.experiments.config import SweepConfig
+from repro.runtime import (
+    Engine,
+    ProcessPoolBackend,
+    RemoteTaskError,
+    RunSpec,
+    SerialBackend,
+    SocketWorkerBackend,
+    resolve_backend,
+)
+
+from . import workerlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: A small heterogeneous batch: two slotted protocols, one reactive, two rates.
+CONFIG = SweepConfig().quick(
+    rates_per_hour=(30.0, 90.0), base_hours=2.0, min_requests=10
+)
+SPECS = [
+    RunSpec("sweep-point", (name, name, rate, CONFIG), label=name)
+    for name in ("npb", "dhb", "stream-tapping")
+    for rate in CONFIG.rates_per_hour
+]
+
+
+def strip_timers(metrics):
+    """Metrics minus wall-clock timers — the only nondeterministic family."""
+    return {key: value for key, value in metrics.items() if key != "timers"}
+
+
+def run_observed(engine):
+    """The batch's results plus merged metrics dict and trace records.
+
+    Everything deterministic is kept exact: values, per-cell and merged
+    counters/gauges/histograms, and the re-emitted trace records.  Only
+    wall-clock timers are stripped.
+    """
+    sink = MemoryTraceSink()
+    observation = Observation(metrics=MetricsRegistry(), trace=sink)
+    with engine:
+        results = engine.run(SPECS, observation=observation)
+    normalized = [
+        result._replace(metrics=strip_timers(result.metrics))
+        for result in results
+    ]
+    return normalized, strip_timers(observation.metrics.to_dict()), list(sink.records)
+
+
+@pytest.fixture(scope="module")
+def serial_outcome():
+    return run_observed(Engine(backend=SerialBackend()))
+
+
+def test_process_pool_matches_serial(serial_outcome):
+    pooled = run_observed(Engine(backend=ProcessPoolBackend(2), n_jobs=2))
+    assert pooled == serial_outcome
+
+
+def test_socket_loopback_matches_serial(serial_outcome):
+    backend = SocketWorkerBackend(spawn_workers=2)
+    outcome = run_observed(Engine(backend=backend, n_jobs=2))
+    assert backend.degraded_events == 0
+    assert outcome == serial_outcome
+
+
+def test_resolve_backend_names():
+    assert isinstance(resolve_backend(None, 1), SerialBackend)
+    assert isinstance(resolve_backend(None, 4), ProcessPoolBackend)
+    assert isinstance(resolve_backend("serial", 4), SerialBackend)
+    assert isinstance(resolve_backend("process", 4), ProcessPoolBackend)
+    backend = SerialBackend()
+    assert resolve_backend(backend, 4) is backend
+
+
+def test_ordered_results_and_streaming_callback():
+    """Results return in task order; on_result fires once per task."""
+    backend = ProcessPoolBackend(2)
+    seen = {}
+    tasks = [(i,) for i in range(8)]
+    results = backend.submit_ordered(
+        workerlib.double, tasks, lambda i, value: seen.setdefault(i, value)
+    )
+    assert results == [i * 2 for i in range(8)]
+    assert seen == {i: i * 2 for i in range(8)}
+
+
+def test_task_exception_propagates_from_pool():
+    backend = ProcessPoolBackend(2)
+    with pytest.raises(ValueError):
+        backend.submit_ordered(workerlib.raise_value_error, [(1,), (2,)])
+    assert backend.degraded_events == 0
+
+
+class TestPoolDegradation:
+    """Satellite bugfix: a worker dying mid-batch must not abort the run."""
+
+    def test_broken_pool_reruns_serially_once(self):
+        backend = ProcessPoolBackend(2)
+        tasks = [(i,) for i in range(6)]
+        results = backend.submit_ordered(workerlib.crash_if_child_process, tasks)
+        assert results == [i * 2 for i in range(6)]
+        assert backend.degraded_events == 1
+
+    def test_degradation_emits_runtime_pool_degraded_metric(self, monkeypatch):
+        # Route the engine's real spec batch through a backend whose pool
+        # breaks mid-flight, and check the merged metrics record it.
+        backend = ProcessPoolBackend(2)
+
+        def breaking_submit(fn, tasks, on_result=None):
+            backend.degraded_events += 1
+            return backend.run_serial(fn, tasks, on_result)
+
+        monkeypatch.setattr(backend, "submit_ordered", breaking_submit)
+        observation = Observation(metrics=MetricsRegistry())
+        Engine(backend=backend).run(SPECS[:2], observation=observation)
+        state = observation.metrics.to_dict()
+        assert state["counters"]["runtime.pool.degraded"] == 1
+
+    def test_callback_not_doubled_after_degradation(self):
+        backend = ProcessPoolBackend(2)
+        calls = []
+        results = backend.submit_ordered(
+            workerlib.crash_if_child_process,
+            [(i,) for i in range(6)],
+            lambda i, value: calls.append(i),
+        )
+        assert results == [i * 2 for i in range(6)]
+        assert sorted(calls) == list(range(6))  # exactly once per task
+
+
+class TestSocketWorkers:
+    def _external_worker(self, address):
+        """One ``repro-cli worker`` able to import this test package."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT), str(REPO_ROOT / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--connect",
+                f"{address[0]}:{address[1]}",
+            ],
+            stdout=subprocess.DEVNULL,
+            env=env,
+        )
+
+    def test_remote_task_error_carries_traceback(self):
+        with SocketWorkerBackend(spawn_workers=0, min_workers=1) as backend:
+            worker = self._external_worker(backend.address)
+            try:
+                with pytest.raises(RemoteTaskError, match="task failure"):
+                    backend.submit_ordered(workerlib.raise_value_error, [(1,)])
+            finally:
+                worker.terminate()
+                worker.wait(timeout=10)
+
+    def test_worker_loss_reassigns_then_degrades_inline(self):
+        # Every worker dies mid-task; after max_retries reassignments the
+        # coordinator runs tasks inline so the batch still completes.
+        with SocketWorkerBackend(
+            spawn_workers=0, min_workers=2, max_retries=1
+        ) as backend:
+            workers = [
+                self._external_worker(backend.address) for _ in range(2)
+            ]
+            try:
+                tasks = [(os.getpid(), i) for i in range(4)]
+                results = backend.submit_ordered(
+                    workerlib.crash_if_not_pid, tasks
+                )
+                assert results == [i * 2 for i in range(4)]
+                assert backend.degraded_events >= 1
+            finally:
+                for worker in workers:
+                    worker.terminate()
+                    worker.wait(timeout=10)
+
+    def test_empty_batch(self):
+        with SocketWorkerBackend(spawn_workers=0) as backend:
+            assert backend.submit_ordered(workerlib.double, []) == []

@@ -1,0 +1,210 @@
+"""Checkpoint/resume: interrupted sweeps recover without re-execution.
+
+Pins the three promises of :mod:`repro.runtime.checkpoint`:
+
+* **Digest stability** — the journal key is a content digest of
+  ``(kind, payload)`` (+ observability mode), equal for equal work and
+  different for different work, independent of display labels.
+* **Journal robustness** — a torn trailing record (crash mid-append) is
+  truncated with a warning, never fatal; everything before it replays.
+* **Resume equivalence** — a sweep interrupted at ~50% and resumed over
+  the same journal reproduces the uninterrupted run's results *and*
+  merged observability state exactly, with completed specs demonstrably
+  not re-executed (the ``execution_count`` probe).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import SweepConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import MemoryTraceSink, Observation
+from repro.runtime import (
+    CheckpointStore,
+    Engine,
+    ProcessPoolBackend,
+    RunResult,
+    RunSpec,
+    SerialBackend,
+    execution_count,
+    reset_execution_count,
+    spec_digest,
+)
+from repro.runtime.checkpoint import MAGIC, CheckpointCorruptionError
+
+CONFIG = SweepConfig().quick(
+    rates_per_hour=(30.0, 90.0), base_hours=2.0, min_requests=10
+)
+SPECS = [
+    RunSpec("sweep-point", (name, name, rate, CONFIG), label=name)
+    for name in ("npb", "dhb")
+    for rate in CONFIG.rates_per_hour
+]
+
+
+def strip_timers(metrics):
+    return {key: value for key, value in metrics.items() if key != "timers"}
+
+
+def observed_run(engine, checkpoint=None):
+    sink = MemoryTraceSink()
+    observation = Observation(metrics=MetricsRegistry(), trace=sink)
+    results = engine.run(SPECS, observation=observation, checkpoint=checkpoint)
+    return (
+        [result._replace(metrics=strip_timers(result.metrics)) for result in results],
+        strip_timers(observation.metrics.to_dict()),
+        list(sink.records),
+    )
+
+
+class TestSpecDigest:
+    def test_stable_for_equal_specs(self):
+        assert spec_digest(SPECS[0]) == spec_digest(
+            RunSpec("sweep-point", ("npb", "npb", 30.0, CONFIG))
+        )
+
+    def test_label_is_not_part_of_the_work(self):
+        relabeled = RunSpec(SPECS[0].kind, SPECS[0].payload, label="other")
+        assert spec_digest(relabeled) == spec_digest(SPECS[0])
+
+    def test_distinct_work_distinct_digest(self):
+        digests = {spec_digest(spec) for spec in SPECS}
+        assert len(digests) == len(SPECS)
+
+    def test_kind_and_observability_mode_matter(self):
+        spec = SPECS[0]
+        assert spec_digest(spec) != spec_digest(RunSpec("fig9-series", spec.payload))
+        assert spec_digest(spec) != spec_digest(spec, want_metrics=True)
+        assert spec_digest(spec, True) != spec_digest(spec, True, True)
+
+    def test_config_content_matters(self):
+        other = CONFIG.replace(seed=CONFIG.seed + 1)
+        assert spec_digest(SPECS[0]) != spec_digest(
+            RunSpec("sweep-point", ("npb", "npb", 30.0, other))
+        )
+
+
+class TestJournal:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        with CheckpointStore(path) as store:
+            store.record("d1", RunResult(1, {}, []))
+            store.record("d2", RunResult({"x": 2.5}, {"counters": {}}, [{"a": 1}]))
+        with CheckpointStore(path) as store:
+            assert len(store) == 2
+            assert store.get("d2").value == {"x": 2.5}
+            assert "d1" in store and "missing" not in store
+
+    def test_torn_trailing_record_truncated_not_fatal(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        with CheckpointStore(path) as store:
+            store.record("d1", RunResult(1, {}, []))
+            store.record("d2", RunResult(2, {}, []))
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x00\x01\xffgarbage torn mid-write")
+        with pytest.warns(RuntimeWarning, match="torn record"):
+            with CheckpointStore(path) as store:
+                assert len(store) == 2
+                store.record("d3", RunResult(3, {}, []))
+        assert path.stat().st_size > intact
+        with CheckpointStore(path) as store:
+            assert len(store) == 3  # the post-truncation append survived
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "notajournal"
+        path.write_bytes(b"something else entirely")
+        with pytest.raises(CheckpointCorruptionError):
+            CheckpointStore(path)
+
+    def test_empty_file_initialized(self, tmp_path):
+        path = tmp_path / "fresh.ckpt"
+        with CheckpointStore(path) as store:
+            assert len(store) == 0
+        assert path.read_bytes() == MAGIC
+
+
+class _InterruptingStore(CheckpointStore):
+    """Journals normally, then dies — a crash after N completed cells."""
+
+    def __init__(self, path, survive: int):
+        super().__init__(path)
+        self.survive = survive
+
+    def record(self, digest, result):
+        if len(self) >= self.survive:
+            raise KeyboardInterrupt("simulated mid-sweep kill")
+        super().record(digest, result)
+
+
+class TestResume:
+    def uninterrupted(self):
+        return observed_run(Engine(backend=SerialBackend()))
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        baseline = self.uninterrupted()
+        path = tmp_path / "sweep.ckpt"
+        half = len(SPECS) // 2
+
+        with pytest.raises(KeyboardInterrupt):
+            observed_run(
+                Engine(backend=SerialBackend()),
+                checkpoint=_InterruptingStore(path, survive=half),
+            )
+
+        reset_execution_count()
+        with CheckpointStore(path) as store:
+            assert len(store) == half
+            resumed = observed_run(Engine(backend=SerialBackend()), checkpoint=store)
+        # Only the unfinished half executed; the journaled half replayed.
+        assert execution_count() == len(SPECS) - half
+        assert resumed == baseline
+
+    def test_full_journal_executes_nothing(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with CheckpointStore(path) as store:
+            first = observed_run(Engine(backend=SerialBackend()), checkpoint=store)
+        reset_execution_count()
+        with CheckpointStore(path) as store:
+            again = observed_run(Engine(backend=SerialBackend()), checkpoint=store)
+        assert execution_count() == 0
+        assert again == first
+
+    def test_pooled_run_journals_every_cell(self, tmp_path):
+        path = tmp_path / "pooled.ckpt"
+        with CheckpointStore(path) as store:
+            pooled = observed_run(
+                Engine(backend=ProcessPoolBackend(2), n_jobs=2), checkpoint=store
+            )
+            assert len(store) == len(SPECS)
+        reset_execution_count()
+        with CheckpointStore(path) as store:
+            resumed = observed_run(Engine(backend=SerialBackend()), checkpoint=store)
+        assert execution_count() == 0
+        assert resumed == pooled == self.uninterrupted()
+
+    def test_journal_is_mode_specific(self, tmp_path):
+        """Results journaled without observability must not satisfy an
+        observed resume (the digest carries the mode)."""
+        path = tmp_path / "plain.ckpt"
+        with CheckpointStore(path) as store:
+            Engine(backend=SerialBackend()).run(SPECS, checkpoint=store)
+            assert len(store) == len(SPECS)
+            reset_execution_count()
+            observed_run(Engine(backend=SerialBackend()), checkpoint=store)
+        assert execution_count() == len(SPECS)
+
+    def test_engine_level_checkpoint_attribute(self, tmp_path):
+        path = tmp_path / "attr.ckpt"
+        with Engine(
+            backend=SerialBackend(), checkpoint=CheckpointStore(path)
+        ) as engine:
+            values = engine.run_values(SPECS)
+        reset_execution_count()
+        with Engine(
+            backend=SerialBackend(), checkpoint=CheckpointStore(path)
+        ) as engine:
+            assert engine.run_values(SPECS) == values
+        assert execution_count() == 0
+        assert pathlib.Path(path).exists()

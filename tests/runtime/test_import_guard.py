@@ -1,9 +1,10 @@
-"""Only ``repro.runtime`` may touch process pools.
+"""Only ``repro.runtime.backends`` may touch pools and sockets.
 
-The unified runtime owns all process-pool plumbing; any other module
-importing ``concurrent.futures`` or ``multiprocessing`` is re-growing a
-private pool and bypassing the Engine's determinism contract.  The same
-rule gates CI via ``tools/lint.py`` (rule RT100); this test keeps it
+The backend layer owns all execution plumbing; any other module importing
+``concurrent.futures``, ``multiprocessing``, or the socket machinery is
+re-growing a private pool (or a private wire protocol) and bypassing the
+Engine's determinism contract.  The same rule gates CI via
+``tools/lint.py`` (rule RT100) and ruff's TID251; this test keeps it
 enforced even when only pytest runs.
 """
 
@@ -11,8 +12,15 @@ import ast
 import pathlib
 
 SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+BACKENDS = SRC / "runtime" / "backends"
 
-BANNED_ROOTS = {"concurrent", "multiprocessing"}
+BANNED_ROOTS = {
+    "concurrent",
+    "multiprocessing",
+    "socket",
+    "socketserver",
+    "selectors",
+}
 
 
 def banned_imports(path: pathlib.Path):
@@ -27,18 +35,25 @@ def banned_imports(path: pathlib.Path):
                 yield node.lineno, node.module
 
 
-def test_pool_imports_confined_to_runtime():
+def test_pool_and_socket_imports_confined_to_backends():
     offenders = []
     for path in sorted(SRC.rglob("*.py")):
-        if path.parent == SRC / "runtime":
+        if path.parent == BACKENDS:
             continue
         for lineno, module in banned_imports(path):
             offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {module}")
     assert not offenders, (
-        "process-pool imports outside repro.runtime:\n" + "\n".join(offenders)
+        "pool/socket imports outside repro.runtime.backends:\n"
+        + "\n".join(offenders)
     )
 
 
-def test_runtime_pool_module_does_use_the_pool():
-    """The guard is meaningful: the allowed module really holds the import."""
-    assert any(banned_imports(SRC / "runtime" / "pool.py"))
+def test_backend_modules_do_hold_the_imports():
+    """The guard is meaningful: the allowed modules really use the plumbing."""
+    assert any(banned_imports(BACKENDS / "process_pool.py"))
+    assert any(banned_imports(BACKENDS / "socket_worker.py"))
+
+
+def test_legacy_pool_shim_is_clean():
+    """The deprecated ``runtime.pool`` shim no longer owns a pool itself."""
+    assert not any(banned_imports(SRC / "runtime" / "pool.py"))

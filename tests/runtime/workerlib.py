@@ -1,0 +1,45 @@
+"""Module-level task functions for backend tests.
+
+Backends pickle task functions *by reference*, so anything a pool or
+socket worker runs must live in an importable module — not in a test
+body.  The crashing variants simulate infrastructure failure (a worker
+dying mid-task: OOM-kill, segfault) as opposed to a task raising.
+"""
+
+import multiprocessing
+import os
+
+
+def double(x):
+    """A trivial deterministic task."""
+    return x * 2
+
+
+def raise_value_error(x):
+    """A task that *fails* (exceptions must propagate, never degrade)."""
+    raise ValueError(f"task failure for {x!r}")
+
+
+def crash_if_child_process(x):
+    """Dies abruptly in any worker process; succeeds inline.
+
+    ``multiprocessing.parent_process()`` is ``None`` only in the original
+    process, so a pool/socket worker running this is killed mid-task
+    (exercising BrokenProcessPool / socket-worker loss) while the serial
+    degradation re-run in the parent completes normally.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return x * 2
+
+
+def crash_if_not_pid(pid, x):
+    """Dies abruptly unless running in the process with ``pid``.
+
+    The socket-worker analogue of :func:`crash_if_child_process`:
+    coordinators pass their own pid, so every remote worker is killed
+    mid-task while the coordinator's inline fallback completes.
+    """
+    if os.getpid() != pid:
+        os._exit(13)
+    return x * 2

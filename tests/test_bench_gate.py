@@ -22,6 +22,7 @@ VERIFIED_BENCHES = (
     "cluster_quick_parallel",
     "runtime_quick",
     "fig7_columnar",
+    "checkpoint_resume_quick",
 )
 
 #: Benches whose fresh detail must stay under the peak-RSS ceiling.
@@ -29,7 +30,12 @@ MEMORY_BENCHES = ("micro_dhb_10m", "fig7_columnar")
 
 
 def _report(
-    seconds_by_name, calibration=0.05, verified=1, rss_mb=200.0, speedup=8.0
+    seconds_by_name,
+    calibration=0.05,
+    verified=1,
+    rss_mb=200.0,
+    speedup=8.0,
+    overhead_pct=1.5,
 ):
     seconds_by_name = dict(seconds_by_name)
     for name in VERIFIED_BENCHES + MEMORY_BENCHES:
@@ -43,6 +49,7 @@ def _report(
     for name in MEMORY_BENCHES:
         benches[name]["detail"]["peak_rss_mb"] = rss_mb
     benches["micro_dhb_10m"]["detail"]["speedup_vs_scalar"] = speedup
+    benches["checkpoint_resume_quick"]["detail"]["overhead_pct"] = overhead_pct
     return {
         "schema": 1,
         "calibration_seconds": calibration,
@@ -125,6 +132,19 @@ class TestCompare:
         _lines, failures = compare(fresh, baseline)
         assert any("speedup" in failure for failure in failures)
 
+    def test_checkpoint_overhead_ceiling_fails(self):
+        baseline = _report({})
+        fresh = _report({}, overhead_pct=9.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("journaling overhead" in failure for failure in failures)
+
+    def test_missing_checkpoint_overhead_fails(self):
+        baseline = _report({})
+        fresh = _report({})
+        del fresh["benches"]["checkpoint_resume_quick"]["detail"]["overhead_pct"]
+        _lines, failures = compare(fresh, baseline)
+        assert any("journaling overhead" in failure for failure in failures)
+
 
 class TestMain:
     def _write(self, path, report):
@@ -158,3 +178,6 @@ class TestMain:
         assert baseline["benches"]["micro_dhb_10m"]["detail"][
             "speedup_vs_scalar"
         ] >= 5.0
+        assert baseline["benches"]["checkpoint_resume_quick"]["detail"][
+            "overhead_pct"
+        ] < 5.0

@@ -12,10 +12,12 @@ dependencies at lint time) still gate the codebase:
   re-exports are exempt, as are names listed in ``__all__`` or aliased to
   themselves ``import x as x``);
 * **F632** — ``is`` / ``is not`` against a str/bytes/int literal;
-* **RT100** — ``concurrent.futures`` / ``multiprocessing`` imported by a
-  ``src/repro`` module outside ``repro.runtime``.  The runtime owns all
-  process-pool plumbing (one pool discipline, one determinism contract);
-  everything else submits :class:`RunSpec` batches to the Engine.
+* **RT100** — ``concurrent.futures`` / ``multiprocessing`` / ``socket`` /
+  ``socketserver`` / ``selectors`` imported by a ``src/repro`` module
+  outside ``repro.runtime.backends``.  The backend layer owns all
+  execution plumbing — pools and wire protocols alike (one dispatch
+  discipline, one determinism contract); everything else submits
+  :class:`RunSpec` batches to the Engine.
 * **CH100** — a ``handle_request`` call inside the columnar branch of
   ``repro/sim/slotted.py`` (any function whose name contains
   ``columnar``).  The columnar hot path exists to eliminate the
@@ -40,14 +42,20 @@ SCAN_DIRS = ("src", "tests", "benchmarks", "tools")
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
-#: Top-level modules only ``repro.runtime`` may import (rule RT100).
-POOL_MODULES = ("concurrent", "multiprocessing")
+#: Top-level modules only ``repro.runtime.backends`` may import (rule RT100).
+POOL_MODULES = (
+    "concurrent",
+    "multiprocessing",
+    "socket",
+    "socketserver",
+    "selectors",
+)
 
 
 def _pool_guard(path: pathlib.Path, tree: ast.Module) -> List[Tuple[int, str, str]]:
-    """RT100 findings: process-pool imports outside ``repro.runtime``."""
+    """RT100 findings: pool/socket imports outside ``repro.runtime.backends``."""
     posix = path.resolve().as_posix()
-    if "/src/repro/" not in posix or "/src/repro/runtime/" in posix:
+    if "/src/repro/" not in posix or "/src/repro/runtime/backends/" in posix:
         return []
     findings: List[Tuple[int, str, str]] = []
     for node in ast.walk(tree):
@@ -63,7 +71,7 @@ def _pool_guard(path: pathlib.Path, tree: ast.Module) -> List[Tuple[int, str, st
                     (
                         node.lineno,
                         "RT100",
-                        f"{name!r} imported outside repro.runtime "
+                        f"{name!r} imported outside repro.runtime.backends "
                         "(submit RunSpecs to the Engine instead)",
                     )
                 )
