@@ -22,6 +22,9 @@ the hot loop" tripwire, not a microbenchmark suite:
   equality invariants are part of the gate, not just the timings.
 * **Checkpoint overhead ceiling.**  ``checkpoint_resume_quick`` must keep
   the journaling overhead on the quick sweep under 5%.
+* **Serving gates.**  ``serve_loopback_quick`` must sustain the loopback
+  session throughput floor, keep the p99 wait to first segment under 1.5x
+  the bench slot, and report ``verified: 1`` (zero drops + sim agreement).
 * **Memory and throughput ceilings.**  The columnar benches gate peak RSS
   (``micro_dhb_10m`` and ``fig7_columnar`` must stay under 1 GiB — the
   streaming-statistics promise) and ``micro_dhb_10m`` must hold a >= 5x
@@ -64,6 +67,13 @@ MIN_COLUMNAR_SPEEDUP = 5.0
 
 #: Maximum journaling overhead (%) for ``checkpoint_resume_quick``.
 MAX_CHECKPOINT_OVERHEAD_PCT = 5.0
+
+#: Serving-path gates for ``serve_loopback_quick``: the live daemon must
+#: sustain at least this many sessions/second on loopback, and the p99
+#: wait to first segment must stay under 1.5x the 50ms bench slot — the
+#: DHB one-slot bound plus scheduling slack.
+MIN_SERVE_CLIENTS_PER_SEC = 25.0
+MAX_SERVE_P99_WAIT_MS = 75.0
 
 
 def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
@@ -118,6 +128,7 @@ def compare(
         "runtime_quick",
         "fig7_columnar",
         "checkpoint_resume_quick",
+        "serve_loopback_quick",
     ):
         parallel = fresh_benches.get(verified_bench, {}).get("detail", {})
         if parallel.get("verified") != 1:
@@ -175,6 +186,31 @@ def compare(
         lines.append(
             f"{'checkpoint_resume_quick':28s}   journaling overhead "
             f"{float(overhead):.2f}% < {MAX_CHECKPOINT_OVERHEAD_PCT:.0f}%"
+        )
+    serve_detail = fresh_benches.get("serve_loopback_quick", {}).get("detail", {})
+    throughput = serve_detail.get("clients_per_sec")
+    if throughput is None or float(throughput) < MIN_SERVE_CLIENTS_PER_SEC:
+        failures.append(
+            f"serve_loopback_quick: throughput {throughput!r} clients/sec "
+            f"below {MIN_SERVE_CLIENTS_PER_SEC}"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'serve_loopback_quick':28s}   {float(throughput):.1f} clients/s "
+            f">= {MIN_SERVE_CLIENTS_PER_SEC:.0f}"
+        )
+    p99_ms = serve_detail.get("p99_wait_ms")
+    if p99_ms is None or float(p99_ms) > MAX_SERVE_P99_WAIT_MS:
+        failures.append(
+            f"serve_loopback_quick: p99 wait {p99_ms!r} ms over the "
+            f"{MAX_SERVE_P99_WAIT_MS} ms bound (1.5x the 50 ms slot)"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'serve_loopback_quick':28s}   p99 wait {float(p99_ms):.2f} ms "
+            f"<= {MAX_SERVE_P99_WAIT_MS:.0f} ms"
         )
     return lines, failures
 

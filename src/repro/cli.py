@@ -10,6 +10,8 @@ Usage::
     repro-cli variants         # the Section 4 DHB-a..d derivation table
     repro-cli cluster [--quick] [--scenario baseline|skewed|crash|all]
     repro-cli worker --connect HOST:PORT   # join a socket coordinator
+    repro-cli serve [--bind HOST:PORT] [--replicas N]   # live VOD daemon
+    repro-cli loadgen --connect HOST:PORT [--clients N] [--duration S]
 
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
@@ -51,6 +53,19 @@ observability outputs (see ``docs/OBSERVABILITY.md`` for the schemas)::
 parameters, seed, git SHA, versions, duration, peak RSS) and every metric
 the layers emitted; ``--trace-out`` streams one JSON line per simulated
 slot (slot index, scheduled instances, load, active streams).
+
+The live serving pair (see ``docs/SERVING.md``)::
+
+    repro-cli serve --bind 127.0.0.1:8471 --replicas 2 --serve-seconds 30
+    repro-cli loadgen --connect 127.0.0.1:8471 --clients 500 --duration 10 \\
+        --max-dropped 0 --p99-bound 0.375 --compare-sim
+
+``serve`` prints ``serving on HOST:PORT`` once the daemon is listening
+(with ``--replicas N`` that is a controller redirecting clients across N
+replica daemons) and runs until ``--serve-seconds`` elapses or SIGINT.
+``loadgen`` drives a client schedule against it, prints a JSON summary,
+and exits non-zero when a ``--max-dropped``/``--p99-bound`` gate or the
+``--compare-sim`` simulator-agreement check fails.
 """
 
 from __future__ import annotations
@@ -77,13 +92,15 @@ from .experiments.config import SweepConfig
 from .experiments.fig7 import FIG7_PROTOCOLS, report_fig7, run_fig7
 from .experiments.fig8 import FIG8_PROTOCOLS, report_fig8, run_fig8
 from .experiments.fig9 import FIG9_MAX_WAIT, FIG9_SERIES, report_fig9, run_fig9
+from .cluster.routing import ROUTER_NAMES
+from .errors import ReproError
 from .obs.trace import JsonlTraceSink, Observation
 from .runtime import CheckpointStore, Engine, RunSpec, observed_run
 from .units import KILOBYTE
 from .video.matrix import matrix_like_video
 
 #: Commands that run measured sweeps and accept --metrics-out/--trace-out.
-OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9", "cluster"})
+OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9", "cluster", "loadgen"})
 
 #: Cluster scenario names accepted by --scenario ("all" runs every preset).
 CLUSTER_SCENARIOS = ("baseline", "skewed", "crash")
@@ -110,13 +127,18 @@ def _engine(args: argparse.Namespace) -> Engine:
         from .runtime.backends import SocketWorkerBackend, parse_address
 
         workers = max(1, args.jobs if args.jobs is not None else 1)
+        timeout = (
+            {"register_timeout": args.register_timeout}
+            if args.register_timeout is not None
+            else {}
+        )
         if args.bind:
             host, port = parse_address(args.bind)
             backend = SocketWorkerBackend(
-                host=host, port=port, min_workers=workers
+                host=host, port=port, min_workers=workers, **timeout
             )
         else:
-            backend = SocketWorkerBackend(spawn_workers=workers)
+            backend = SocketWorkerBackend(spawn_workers=workers, **timeout)
     checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
     return Engine(n_jobs=args.jobs, backend=backend, checkpoint=checkpoint)
 
@@ -310,6 +332,134 @@ def _cmd_catalog(args: argparse.Namespace) -> str:
     return header + result.render()
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Run a live broadcast daemon (or controller + replicas) until told to stop."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from .runtime.backends import parse_address
+    from .serve import BroadcastDaemon, ServeConfig, serve_cluster
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("n_segments", args.segments),
+            ("slot_duration", args.slot_duration),
+            ("segment_bytes", args.segment_bytes),
+            ("queue_frames", args.queue_frames),
+        )
+        if value is not None
+    }
+    config = ServeConfig(**overrides)
+    replicas = args.replicas if args.replicas is not None else 0
+    host, port = parse_address(args.bind) if args.bind else ("127.0.0.1", 0)
+
+    async def _serve() -> None:
+        if replicas > 0:
+            unit = await serve_cluster(
+                config, replicas, host=host, port=port,
+                router_name=args.router or "least-loaded",
+            )
+        else:
+            unit = BroadcastDaemon(config, host=host, port=port)
+            await unit.start()
+        bound_host, bound_port = unit.address
+        print(f"serving on {bound_host}:{bound_port}", flush=True)
+        # A signal-driven stop event makes the shutdown graceful under
+        # SIGTERM too — backgrounded daemons in non-interactive shells
+        # (CI steps) often inherit SIGINT as ignored, so `kill PID` must
+        # take the same FIN-every-session path as Ctrl-C.
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                continue
+            handled.append(signum)
+        try:
+            if args.serve_seconds is not None:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        stop_event.wait(), args.serve_seconds
+                    )
+            else:
+                await stop_event.wait()
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+            await unit.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return "serve: shut down cleanly"
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    """Drive a client schedule against a live daemon; print a JSON summary."""
+    import asyncio
+
+    from .errors import ServeError
+    from .runtime.backends import parse_address
+    from .serve import (
+        LoadgenConfig,
+        assert_gates,
+        compare_with_simulation,
+        run_loadgen_async,
+    )
+
+    host, port = parse_address(args.connect)
+    config = LoadgenConfig(
+        host=host,
+        port=port,
+        clients=args.clients if args.clients is not None else 100,
+        duration_seconds=args.duration if args.duration is not None else 5.0,
+        arrivals=args.arrivals or "poisson",
+        seed=args.seed,
+        want=args.want or "first",
+    )
+    params = {
+        "clients": config.clients,
+        "duration_seconds": config.duration_seconds,
+        "arrivals": config.arrivals,
+        "want": config.want,
+        "target": f"{host}:{port}",
+    }
+    with _observed(args, "loadgen", ["dhb"], params, args.seed) as run:
+        observation = run.observation
+        result = asyncio.run(
+            run_loadgen_async(
+                config,
+                metrics=observation.metrics if observation else None,
+                trace=observation.trace if observation else None,
+            )
+        )
+    document = result.to_dict()
+    comparison = None
+    if args.compare_sim:
+        comparison = compare_with_simulation(result)
+        document["simulation"] = comparison.to_dict()
+    output = json.dumps(document, indent=2, sort_keys=True)
+    # Gates run after the summary is assembled so a failure still shows it.
+    try:
+        assert_gates(
+            result, max_dropped=args.max_dropped, p99_bound=args.p99_bound
+        )
+        if comparison is not None and not comparison.within_tolerance():
+            raise ServeError(
+                "loadgen gate failed: served waits disagree with the slotted "
+                f"simulator beyond tolerance: {comparison.to_dict()}"
+            )
+    except ServeError:
+        print(output, flush=True)
+        raise
+    return output
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "fig7": _cmd_fig7,
@@ -319,6 +469,8 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "catalog": _cmd_catalog,
     "cluster": _cmd_cluster,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 
@@ -334,7 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "command",
         choices=sorted([*_COMMANDS, "worker"]),
-        help="what to run (worker: join a socket coordinator)",
+        help=(
+            "what to run (worker: join a socket coordinator; "
+            "serve/loadgen: the live serving pair)"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="short horizons / few rates"
@@ -368,14 +523,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with --backend socket: listen here and wait for --workers "
             "external 'repro-cli worker' registrations instead of "
-            "spawning loopback workers"
+            "spawning loopback workers; with serve: the daemon's "
+            "listening address (default 127.0.0.1 on an ephemeral port)"
+        ),
+    )
+    parser.add_argument(
+        "--register-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --backend socket: seconds to wait for worker "
+            "registrations before erroring out (default 60)"
         ),
     )
     parser.add_argument(
         "--connect",
         metavar="HOST:PORT",
         default=None,
-        help="worker command only: the coordinator to register with",
+        help=(
+            "worker: the coordinator to register with; "
+            "loadgen: the daemon or controller to drive"
+        ),
     )
     parser.add_argument(
         "--checkpoint",
@@ -409,6 +578,110 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="which cluster preset to run (cluster command only)",
     )
+    serve = parser.add_argument_group("serve (see docs/SERVING.md)")
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="front N replica daemons with a redirecting controller (default 0)",
+    )
+    serve.add_argument(
+        "--router",
+        choices=ROUTER_NAMES,
+        default=None,
+        help="controller routing policy with --replicas (default least-loaded)",
+    )
+    serve.add_argument(
+        "--segments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="segments per video (default 12)",
+    )
+    serve.add_argument(
+        "--slot-duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock slot length d, the DHB wait bound (default 0.25)",
+    )
+    serve.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="payload bytes per segment frame (default 1024)",
+    )
+    serve.add_argument(
+        "--queue-frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-session send-queue bound before slow-client eviction "
+            "(default: REPRO_SERVE_QUEUE_FRAMES or 64)"
+        ),
+    )
+    serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long then stop (default: until SIGINT)",
+    )
+    loadgen = parser.add_argument_group("loadgen")
+    loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help="target client sessions (default 100)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds the arrival schedule spans (default 5)",
+    )
+    loadgen.add_argument(
+        "--arrivals",
+        choices=("poisson", "uniform"),
+        default=None,
+        help="arrival schedule shape (default poisson)",
+    )
+    loadgen.add_argument(
+        "--want",
+        choices=("first", "all"),
+        default=None,
+        help=(
+            "leave after the first segment (wait measurement only) or "
+            "stay for the whole video (default first)"
+        ),
+    )
+    loadgen.add_argument(
+        "--max-dropped",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gate: fail when more than N sessions drop",
+    )
+    loadgen.add_argument(
+        "--p99-bound",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="gate: fail when the p99 wait exceeds this bound",
+    )
+    loadgen.add_argument(
+        "--compare-sim",
+        action="store_true",
+        help=(
+            "replay the same arrivals through the slotted simulator and "
+            "fail when served waits disagree beyond tolerance"
+        ),
+    )
     return parser
 
 
@@ -422,8 +695,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .runtime.backends import worker_main
 
         return worker_main(args.connect)
-    if args.connect:
-        parser.error("--connect only applies to the worker command")
+    if args.command == "loadgen" and not args.connect:
+        parser.error("loadgen requires --connect HOST:PORT")
+    if args.connect and args.command != "loadgen":
+        parser.error("--connect only applies to the worker and loadgen commands")
     if (args.metrics_out or args.trace_out) and args.command not in OBSERVABLE_COMMANDS:
         parser.error(
             f"--metrics-out/--trace-out only apply to "
@@ -431,8 +706,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.scenario != "all" and args.command != "cluster":
         parser.error("--scenario only applies to the cluster command")
-    if args.bind and args.backend != "socket":
-        parser.error("--bind only applies with --backend socket")
+    if args.bind and args.backend != "socket" and args.command != "serve":
+        parser.error("--bind only applies with --backend socket or serve")
+    if args.register_timeout is not None and args.backend != "socket":
+        parser.error("--register-timeout only applies with --backend socket")
+    if args.command != "serve":
+        for flag, value in (
+            ("--replicas", args.replicas),
+            ("--router", args.router),
+            ("--segments", args.segments),
+            ("--slot-duration", args.slot_duration),
+            ("--segment-bytes", args.segment_bytes),
+            ("--queue-frames", args.queue_frames),
+            ("--serve-seconds", args.serve_seconds),
+        ):
+            if value is not None:
+                parser.error(f"{flag} only applies to the serve command")
+    if args.command != "loadgen":
+        for flag, value in (
+            ("--clients", args.clients),
+            ("--duration", args.duration),
+            ("--arrivals", args.arrivals),
+            ("--want", args.want),
+            ("--max-dropped", args.max_dropped),
+            ("--p99-bound", args.p99_bound),
+            ("--compare-sim", args.compare_sim or None),
+        ):
+            if value is not None:
+                parser.error(f"{flag} only applies to the loadgen command")
     if args.resume:
         if not args.checkpoint:
             parser.error("--resume requires --checkpoint PATH")
@@ -440,7 +741,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(
                 f"--resume: checkpoint journal {args.checkpoint!r} does not exist"
             )
-    output = _COMMANDS[args.command](args)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Library errors carry an actionable message; a traceback would
+        # only bury it.
+        print(f"repro-cli: error: {exc}", file=sys.stderr)
+        return 2
     try:
         print(output)
     except BrokenPipeError:

@@ -76,6 +76,17 @@ class ClusterError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The live serving layer hit a protocol or transport violation.
+
+    Raised by :mod:`repro.serve` on malformed wire frames, oversized
+    payloads, handshake violations, or a load-generation gate failure
+    (dropped sessions, tail-latency bound exceeded).  Infrastructure
+    hiccups on individual client connections are *not* errors — the
+    daemon absorbs them and counts them in its metrics.
+    """
+
+
 class VideoModelError(ReproError):
     """A video model or trace is malformed (negative sizes, empty trace, ...)."""
 

@@ -132,7 +132,16 @@ class SocketWorkerBackend(ExecutionBackend):
         Defaults to ``spawn_workers`` when spawning, else 1.
     register_timeout:
         Seconds to wait for ``min_workers``; on expiry the batch proceeds
-        with whatever registered (inline, counted as degraded, if none).
+        with whatever registered.
+    require_workers:
+        What to do when the deadline expires with *zero* registrations.
+        ``True`` raises :class:`~repro.errors.ConfigurationError` — the
+        default for external-worker mode (``spawn_workers=0``), where
+        silently computing the whole batch inline on the coordinator
+        would defeat the user's explicit distribution request.  ``False``
+        degrades to inline execution (counted in ``degraded_events``) —
+        the default when the backend spawns its own loopback workers,
+        where a spawn hiccup should not abort the run.
     max_retries:
         Reassignments per task before the coordinator runs it inline.
     """
@@ -147,6 +156,7 @@ class SocketWorkerBackend(ExecutionBackend):
         spawn_workers: int = 0,
         min_workers: Optional[int] = None,
         register_timeout: float = 60.0,
+        require_workers: Optional[bool] = None,
         max_retries: int = 2,
     ):
         self.degraded_events = 0
@@ -157,6 +167,11 @@ class SocketWorkerBackend(ExecutionBackend):
             else (self.spawn_workers if self.spawn_workers else 1)
         )
         self.register_timeout = register_timeout
+        self.require_workers = (
+            require_workers
+            if require_workers is not None
+            else self.spawn_workers == 0
+        )
         self.max_retries = max(0, int(max_retries))
         self._selector = selectors.DefaultSelector()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -232,7 +247,13 @@ class SocketWorkerBackend(ExecutionBackend):
         worker.close()
 
     def _ensure_workers(self) -> None:
-        """Spawn (once) and wait for ``min_workers`` registrations."""
+        """Spawn (once) and wait for ``min_workers`` registrations.
+
+        With ``require_workers`` (the external-worker default), a deadline
+        expiring with an *empty* fleet raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        running the batch inline on the coordinator.
+        """
         if self.spawn_workers and not self._spawned:
             self._spawn_local(self.spawn_workers)
         deadline = time.monotonic() + self.register_timeout
@@ -243,6 +264,16 @@ class SocketWorkerBackend(ExecutionBackend):
             for key, _ in self._selector.select(timeout=min(remaining, 0.2)):
                 if key.fileobj is self._listener:
                     self._accept_worker()
+        if not self._workers and self.require_workers:
+            host, port = self.address
+            raise ConfigurationError(
+                f"socket backend: no workers registered on {host}:{port} "
+                f"within {self.register_timeout:.0f}s (expected "
+                f"{self.min_workers}); start them with "
+                f"'repro-cli worker --connect {host}:{port}', raise "
+                "--register-timeout, or pass require_workers=False to "
+                "allow degraded inline execution"
+            )
 
     def close(self) -> None:
         if self._closed:

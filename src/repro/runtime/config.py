@@ -51,6 +51,9 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: Environment variable bounding the shared arrival-trace cache.
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE_SIZE"
 
+#: Environment variable bounding each serving session's send queue (frames).
+SERVE_QUEUE_ENV = "REPRO_SERVE_QUEUE_FRAMES"
+
 #: Backend names the environment may select (socket needs addresses, so
 #: it is constructor/CLI-only; see repro.runtime.backends).
 ENV_BACKEND_NAMES = ("serial", "process", "process-pool")
@@ -79,6 +82,13 @@ DEFAULT_SEED = 2001
 QUICK_RATES_PER_HOUR = (2.0, 50.0, 500.0)
 QUICK_BASE_HOURS = 6.0
 QUICK_MIN_REQUESTS = 40
+
+# -- live serving defaults (repro.serve) -----------------------------------
+
+#: Frames a serving session's send queue may buffer before the daemon
+#: evicts the (slow) client; overridable per daemon and via the
+#: ``REPRO_SERVE_QUEUE_FRAMES`` environment variable.
+DEFAULT_SERVE_QUEUE_FRAMES = 64
 
 
 def _env_int(name: str) -> Optional[int]:

@@ -1,0 +1,78 @@
+"""Live serving layer: the slotted protocols as a running VOD daemon.
+
+Everything below :mod:`repro.sim` treats time as slot indices; this package
+runs the same admission logic against *wall-clock* slots and real TCP
+connections:
+
+* :mod:`repro.serve.framing` — the length-prefixed wire format;
+* :mod:`repro.serve.config` — the serving parameters (:class:`ServeConfig`);
+* :mod:`repro.serve.daemon` — :class:`BroadcastDaemon`, the asyncio slot
+  ticker + segment fan-out with bounded send queues and slow-client
+  eviction;
+* :mod:`repro.serve.controller` — the origin controller redirecting clients
+  across replicas with the :mod:`repro.cluster.routing` policies;
+* :mod:`repro.serve.loadgen` — the asyncio load-generator harness and the
+  served-vs-simulated comparison.
+
+See ``docs/SERVING.md`` for the architecture and the CI end-to-end gate.
+"""
+
+from .config import ServeConfig
+from .controller import ControllerDaemon, ReplicaHandle, ServeCluster, serve_cluster
+from .daemon import BroadcastDaemon, predicted_wait_bound
+from .framing import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_FIN,
+    FRAME_HELLO,
+    FRAME_REDIRECT,
+    FRAME_SEGMENT,
+    FRAME_WELCOME,
+    Frame,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenResult,
+    SimComparison,
+    assert_gates,
+    compare_with_simulation,
+    empirical_quantile,
+    generate_offsets,
+    run_loadgen,
+    run_loadgen_async,
+    wait_for_server,
+)
+
+__all__ = [
+    "BroadcastDaemon",
+    "ControllerDaemon",
+    "FRAME_BYE",
+    "FRAME_ERROR",
+    "FRAME_FIN",
+    "FRAME_HELLO",
+    "FRAME_REDIRECT",
+    "FRAME_SEGMENT",
+    "FRAME_WELCOME",
+    "Frame",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "ReplicaHandle",
+    "ServeCluster",
+    "ServeConfig",
+    "SimComparison",
+    "assert_gates",
+    "compare_with_simulation",
+    "decode_frame",
+    "empirical_quantile",
+    "encode_frame",
+    "generate_offsets",
+    "predicted_wait_bound",
+    "read_frame",
+    "run_loadgen",
+    "run_loadgen_async",
+    "serve_cluster",
+    "wait_for_server",
+]

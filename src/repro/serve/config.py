@@ -1,0 +1,106 @@
+"""Serving parameters: one validated dataclass shared by daemon and CLI.
+
+:class:`ServeConfig` pins down the broadcast scenario a daemon runs — the
+DHB segment count, the wall-clock slot duration, the synthetic segment
+payload size — plus the transport policy knobs (send-queue bound, handshake
+timeout).  The client side never duplicates these numbers: the daemon
+advertises them in its WELCOME frame and the load generator reads them from
+there.
+
+The send-queue bound follows the runtime layer's advisory-environment
+discipline (see :mod:`repro.runtime.config`): an explicit value is code and
+is validated eagerly; ``REPRO_SERVE_QUEUE_FRAMES`` is advisory, so a
+malformed export warns and falls back to the default.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..runtime.config import DEFAULT_SERVE_QUEUE_FRAMES, SERVE_QUEUE_ENV, _env_int
+
+#: Serving defaults: a short video (12 segments) in quarter-second slots
+#: keeps loopback end-to-end runs fast while exercising real DHB windows.
+DEFAULT_N_SEGMENTS = 12
+DEFAULT_SLOT_DURATION = 0.25
+DEFAULT_SEGMENT_BYTES = 1024
+
+#: Seconds a fresh connection may sit silent before its HELLO is due.
+DEFAULT_HELLO_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of one broadcast daemon (validated at construction).
+
+    >>> ServeConfig().n_segments
+    12
+    >>> ServeConfig(slot_duration=0.05).resolve_queue_frames() >= 1
+    True
+    """
+
+    #: Segments per video (DHB's ``n``); every client needs all of them.
+    n_segments: int = DEFAULT_N_SEGMENTS
+    #: Wall-clock slot length ``d`` in seconds — also the DHB wait bound.
+    slot_duration: float = DEFAULT_SLOT_DURATION
+    #: Synthetic payload bytes per segment frame.
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: Send-queue bound in frames; ``None`` defers to the environment
+    #: (``REPRO_SERVE_QUEUE_FRAMES``), then :data:`DEFAULT_SERVE_QUEUE_FRAMES`.
+    queue_frames: Optional[int] = None
+    #: Seconds a connection may wait before sending HELLO.
+    hello_timeout: float = DEFAULT_HELLO_TIMEOUT
+
+    def __post_init__(self):
+        if self.n_segments < 1:
+            raise ConfigurationError(
+                f"n_segments must be >= 1, got {self.n_segments}"
+            )
+        if self.slot_duration <= 0:
+            raise ConfigurationError(
+                f"slot_duration must be > 0, got {self.slot_duration}"
+            )
+        if self.segment_bytes < 1:
+            raise ConfigurationError(
+                f"segment_bytes must be >= 1, got {self.segment_bytes}"
+            )
+        if self.queue_frames is not None and self.queue_frames < 1:
+            raise ConfigurationError(
+                f"queue_frames must be >= 1, got {self.queue_frames}"
+            )
+        if self.hello_timeout <= 0:
+            raise ConfigurationError(
+                f"hello_timeout must be > 0, got {self.hello_timeout}"
+            )
+
+    def resolve_queue_frames(self) -> int:
+        """The effective send-queue bound (explicit > env > default).
+
+        The environment is advisory: a malformed or non-positive
+        ``REPRO_SERVE_QUEUE_FRAMES`` warns (via the shared runtime helper)
+        or is ignored, and the baked-in default applies.
+        """
+        if self.queue_frames is not None:
+            return int(self.queue_frames)
+        from_env = _env_int(SERVE_QUEUE_ENV)
+        if from_env is not None:
+            if from_env >= 1:
+                return from_env
+            warnings.warn(
+                f"ignoring {SERVE_QUEUE_ENV}={from_env}: queue bound must "
+                "be >= 1; using the default",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return DEFAULT_SERVE_QUEUE_FRAMES
+
+    def welcome_header(self) -> dict:
+        """The serving parameters a WELCOME frame advertises to clients."""
+        return {
+            "n_segments": self.n_segments,
+            "slot_duration": self.slot_duration,
+            "segment_bytes": self.segment_bytes,
+        }

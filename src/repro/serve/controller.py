@@ -1,0 +1,202 @@
+"""The origin controller: route each new client to a replica daemon.
+
+The cluster layer already models the origin → controller → replica topology
+and its routing trade-offs (:mod:`repro.cluster.routing`).  This module
+puts the same :class:`~repro.cluster.routing.Router` policies in front of
+*live* :class:`~repro.serve.daemon.BroadcastDaemon` replicas: a client
+HELLOs the controller, the router picks a replica, and the controller
+answers with a REDIRECT frame carrying the replica's address.  The client
+then re-HELLOs the replica directly — the controller never proxies segment
+bytes, so its per-client cost is one tiny exchange and the broadcast fan-out
+stays on the replicas.
+
+The routers need nothing from a candidate beyond ``pressure(slot)`` (and
+preference order), which :class:`ReplicaHandle` provides by asking its
+daemon for the live session count — ``least-loaded`` therefore steers new
+clients away from busy replicas exactly as it does in simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cluster.routing import ROUTER_NAMES, Router, make_router
+from ..errors import ServeError
+from ..obs.registry import MetricsRegistry
+from .config import ServeConfig
+from .daemon import BroadcastDaemon
+from .framing import FRAME_ERROR, FRAME_HELLO, FRAME_REDIRECT, encode_frame, read_frame
+
+logger = logging.getLogger("repro.serve")
+
+
+@dataclass
+class ReplicaHandle:
+    """A routable replica: its public address plus a live load signal.
+
+    Duck-types the slice of :class:`~repro.cluster.admission.CappedServer`
+    the routers actually touch.
+    """
+
+    host: str
+    port: int
+    daemon: Optional[BroadcastDaemon] = None
+
+    def pressure(self, slot: int) -> float:
+        """Deferral-pressure analogue: the replica's live session count."""
+        return self.daemon.pressure(slot) if self.daemon is not None else 0.0
+
+
+class ControllerDaemon:
+    """Redirect-only front door over a set of replica daemons."""
+
+    def __init__(
+        self,
+        replicas: List[ReplicaHandle],
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        hello_timeout: float = 5.0,
+    ):
+        if not replicas:
+            raise ServeError("a controller needs at least one replica")
+        self.replicas = list(replicas)
+        self.router = router
+        self.host = host
+        self.port = port
+        self.metrics = metrics
+        self.hello_timeout = hello_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        logger.info(
+            "controller: routing on %s:%d over %d replicas",
+            *self.address,
+            len(self.replicas),
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid once :meth:`start` returned)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("controller is not started")
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        logger.info("controller: stopped")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HELLO with a REDIRECT (or an ERROR), then hang up."""
+        try:
+            try:
+                hello = await asyncio.wait_for(
+                    read_frame(reader), timeout=self.hello_timeout
+                )
+            except asyncio.TimeoutError:
+                return
+            if hello.frame_type != FRAME_HELLO:
+                writer.write(
+                    encode_frame(
+                        FRAME_ERROR,
+                        {"error": f"expected HELLO, got {hello.name}"},
+                    )
+                )
+                await writer.drain()
+                return
+            chosen = self.router.choose(title=0, slot=0, candidates=self.replicas)
+            if chosen is None:
+                writer.write(
+                    encode_frame(FRAME_ERROR, {"error": "no replica available"})
+                )
+                if self.metrics is not None:
+                    self.metrics.counter("serve.controller.rejected").inc()
+            else:
+                writer.write(
+                    encode_frame(
+                        FRAME_REDIRECT, {"host": chosen.host, "port": chosen.port}
+                    )
+                )
+                if self.metrics is not None:
+                    self.metrics.counter("serve.controller.redirects").inc()
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, ServeError):
+            pass
+        except Exception:
+            logger.exception("controller: connection handler failed")
+        finally:
+            if not writer.is_closing():
+                writer.close()
+
+
+class ServeCluster:
+    """A controller fronting N in-process replica daemons, as one unit."""
+
+    def __init__(
+        self,
+        controller: ControllerDaemon,
+        replicas: List[BroadcastDaemon],
+    ):
+        self.controller = controller
+        self.replicas = replicas
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The controller's public address — the one clients dial."""
+        return self.controller.address
+
+    async def stop(self) -> None:
+        """Stop the front door first, then drain every replica."""
+        await self.controller.stop()
+        for replica in self.replicas:
+            await replica.stop()
+
+
+async def serve_cluster(
+    config: ServeConfig,
+    n_replicas: int,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    router_name: str = "least-loaded",
+    metrics: Optional[MetricsRegistry] = None,
+) -> ServeCluster:
+    """Start ``n_replicas`` broadcast daemons plus a controller over them.
+
+    Replicas bind ephemeral loopback ports; the controller takes the
+    requested ``(host, port)`` and is the only address clients need.
+    ``router_name`` picks the routing policy (:data:`ROUTER_NAMES`).
+    """
+    if n_replicas < 1:
+        raise ServeError(f"n_replicas must be >= 1, got {n_replicas}")
+    if router_name not in ROUTER_NAMES:
+        raise ServeError(
+            f"unknown router {router_name!r}; choose from {list(ROUTER_NAMES)}"
+        )
+    replicas: List[BroadcastDaemon] = []
+    for index in range(n_replicas):
+        daemon = BroadcastDaemon(
+            config, host=host, port=0, metrics=metrics, name=f"replica-{index}"
+        )
+        await daemon.start()
+        replicas.append(daemon)
+    handles = [
+        ReplicaHandle(host=d.address[0], port=d.address[1], daemon=d)
+        for d in replicas
+    ]
+    controller = ControllerDaemon(
+        handles, make_router(router_name), host=host, port=port, metrics=metrics
+    )
+    await controller.start()
+    return ServeCluster(controller, replicas)

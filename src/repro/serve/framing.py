@@ -1,0 +1,188 @@
+"""Wire framing for the live serving layer.
+
+Every message on a serving connection is one length-prefixed frame::
+
+    magic     2 bytes   b"DH"
+    type      1 byte    see the FRAME_* constants
+    hlen      4 bytes   big-endian header length
+    header    hlen      UTF-8 JSON object (possibly ``{}``)
+    blen      4 bytes   big-endian body length
+    body      blen      raw bytes (segment payload; empty for control frames)
+
+The JSON header carries the structured fields (segment number, slot index,
+redirect address, ...); the body carries bulk segment bytes so payloads never
+pass through the JSON encoder.  Frames are self-delimiting, so a reader can
+recover message boundaries from any TCP stream position that starts on a
+frame.
+
+Size limits are enforced on both ends (:data:`MAX_HEADER_BYTES`,
+:data:`MAX_BODY_BYTES`); a violation — like a bad magic or an unknown frame
+type — raises :class:`~repro.errors.ServeError`, because a malformed frame
+means the peer is not speaking this protocol and the connection cannot be
+resynchronised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ServeError
+
+#: Leading two bytes of every frame.
+MAGIC = b"DH"
+
+# Frame types.  Client -> server: HELLO (open a session), BYE (clean leave).
+# Server -> client: WELCOME (session accepted + serving parameters),
+# REDIRECT (controller handing the client to a replica), SEGMENT (one
+# scheduled segment instance), FIN (graceful daemon shutdown), ERROR
+# (protocol violation report before the server closes the connection).
+FRAME_HELLO = 1
+FRAME_WELCOME = 2
+FRAME_REDIRECT = 3
+FRAME_SEGMENT = 4
+FRAME_FIN = 5
+FRAME_ERROR = 6
+FRAME_BYE = 7
+
+#: Human-readable names, for error messages and traces.
+FRAME_NAMES = {
+    FRAME_HELLO: "HELLO",
+    FRAME_WELCOME: "WELCOME",
+    FRAME_REDIRECT: "REDIRECT",
+    FRAME_SEGMENT: "SEGMENT",
+    FRAME_FIN: "FIN",
+    FRAME_ERROR: "ERROR",
+    FRAME_BYE: "BYE",
+}
+
+#: Largest JSON header accepted (64 KiB is far beyond any real header).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Largest segment body accepted (16 MiB bounds a hostile length prefix).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_PREFIX = struct.Struct(">2sBI")  # magic, type, header length
+_BLEN = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    frame_type: int
+    header: Dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def name(self) -> str:
+        """The frame type's wire name (``"SEGMENT"``, ...)."""
+        return FRAME_NAMES.get(self.frame_type, f"type-{self.frame_type}")
+
+
+def encode_frame(frame_type: int, header: Dict = None, body: bytes = b"") -> bytes:
+    """Serialise one frame to wire bytes.
+
+    >>> raw = encode_frame(FRAME_HELLO, {"want": "first"})
+    >>> decode_frame(raw).header["want"]
+    'first'
+    """
+    if frame_type not in FRAME_NAMES:
+        raise ServeError(f"unknown frame type {frame_type}")
+    header_bytes = json.dumps(
+        header or {}, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ServeError(
+            f"{FRAME_NAMES[frame_type]} header is {len(header_bytes)} bytes; "
+            f"the wire limit is {MAX_HEADER_BYTES}"
+        )
+    if len(body) > MAX_BODY_BYTES:
+        raise ServeError(
+            f"{FRAME_NAMES[frame_type]} body is {len(body)} bytes; "
+            f"the wire limit is {MAX_BODY_BYTES}"
+        )
+    return b"".join(
+        (
+            _PREFIX.pack(MAGIC, frame_type, len(header_bytes)),
+            header_bytes,
+            _BLEN.pack(len(body)),
+            body,
+        )
+    )
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame from ``data`` (must contain the whole frame)."""
+    frame, consumed = _decode_prefix(data)
+    if consumed != len(data):
+        raise ServeError(
+            f"frame decode left {len(data) - consumed} trailing bytes"
+        )
+    return frame
+
+
+def _decode_prefix(data: bytes) -> Tuple[Frame, int]:
+    """Decode the frame starting at ``data[0]``; return it and its length."""
+    if len(data) < _PREFIX.size:
+        raise ServeError(f"truncated frame: {len(data)} bytes")
+    magic, frame_type, hlen = _PREFIX.unpack_from(data)
+    _check_prefix(magic, frame_type, hlen)
+    offset = _PREFIX.size
+    if len(data) < offset + hlen + _BLEN.size:
+        raise ServeError("truncated frame: header cut short")
+    header = _parse_header(data[offset : offset + hlen], frame_type)
+    offset += hlen
+    (blen,) = _BLEN.unpack_from(data, offset)
+    offset += _BLEN.size
+    if blen > MAX_BODY_BYTES:
+        raise ServeError(f"frame body length {blen} exceeds {MAX_BODY_BYTES}")
+    if len(data) < offset + blen:
+        raise ServeError("truncated frame: body cut short")
+    return Frame(frame_type, header, bytes(data[offset : offset + blen])), offset + blen
+
+
+def _check_prefix(magic: bytes, frame_type: int, hlen: int) -> None:
+    if magic != MAGIC:
+        raise ServeError(f"bad frame magic {magic!r}; peer is not speaking DH")
+    if frame_type not in FRAME_NAMES:
+        raise ServeError(f"unknown frame type {frame_type}")
+    if hlen > MAX_HEADER_BYTES:
+        raise ServeError(f"frame header length {hlen} exceeds {MAX_HEADER_BYTES}")
+
+
+def _parse_header(raw: bytes, frame_type: int) -> Dict:
+    try:
+        header = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(
+            f"{FRAME_NAMES[frame_type]} header is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(header, dict):
+        raise ServeError(
+            f"{FRAME_NAMES[frame_type]} header must be a JSON object, "
+            f"got {type(header).__name__}"
+        )
+    return header
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read exactly one frame from an asyncio stream.
+
+    Raises :class:`~repro.errors.ServeError` on malformed input and
+    :class:`asyncio.IncompleteReadError` when the peer closes mid-frame
+    (a clean EOF *before* any byte of a frame surfaces the same way, with
+    ``partial == b""``; callers treat that as end-of-stream).
+    """
+    prefix = await reader.readexactly(_PREFIX.size)
+    magic, frame_type, hlen = _PREFIX.unpack(prefix)
+    _check_prefix(magic, frame_type, hlen)
+    header = _parse_header(await reader.readexactly(hlen), frame_type)
+    (blen,) = _BLEN.unpack(await reader.readexactly(_BLEN.size))
+    if blen > MAX_BODY_BYTES:
+        raise ServeError(f"frame body length {blen} exceeds {MAX_BODY_BYTES}")
+    body = await reader.readexactly(blen) if blen else b""
+    return Frame(frame_type, header, body)

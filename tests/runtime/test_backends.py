@@ -20,6 +20,7 @@ import sys
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import MemoryTraceSink, Observation
 from repro.experiments.config import SweepConfig
@@ -208,3 +209,50 @@ class TestSocketWorkers:
     def test_empty_batch(self):
         with SocketWorkerBackend(spawn_workers=0) as backend:
             assert backend.submit_ordered(workerlib.double, []) == []
+
+
+class TestSocketRequireWorkers:
+    """Satellite bugfix: an empty fleet at the deadline is a clear error.
+
+    Before, ``--backend socket`` with zero registrations silently computed
+    the whole batch inline on the coordinator.  Table-driven like the
+    advisory-environment tests in ``test_config.py``.
+    """
+
+    #: (require_workers kwarg, expect ConfigurationError?)
+    NO_WORKER_TABLE = [
+        (None, True),  # external-worker mode defaults to strict
+        (True, True),
+        (False, False),  # explicit opt-in to degraded inline execution
+    ]
+
+    @pytest.mark.parametrize("require,expect_error", NO_WORKER_TABLE)
+    def test_no_registrations_at_deadline(self, require, expect_error):
+        with SocketWorkerBackend(
+            spawn_workers=0,
+            min_workers=1,
+            register_timeout=0.2,
+            require_workers=require,
+        ) as backend:
+            if expect_error:
+                with pytest.raises(
+                    ConfigurationError, match="no workers registered"
+                ) as excinfo:
+                    backend.submit_ordered(workerlib.double, [(2,)])
+                # The message must be actionable: how to start a worker.
+                assert "repro-cli worker --connect" in str(excinfo.value)
+                assert backend.degraded_events == 0
+            else:
+                assert backend.submit_ordered(workerlib.double, [(2,)]) == [4]
+                assert backend.degraded_events == 1
+
+    #: (spawn_workers, resolved require_workers default)
+    DEFAULT_TABLE = [
+        (0, True),  # waiting on external workers: strict
+        (2, False),  # spawning our own: a spawn hiccup degrades gracefully
+    ]
+
+    @pytest.mark.parametrize("spawn,expected", DEFAULT_TABLE)
+    def test_default_resolution(self, spawn, expected):
+        with SocketWorkerBackend(spawn_workers=spawn) as backend:
+            assert backend.require_workers is expected

@@ -1,0 +1,144 @@
+"""Controller topology: redirects, routing policies, cluster lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    ControllerDaemon,
+    ReplicaHandle,
+    ServeConfig,
+    serve_cluster,
+)
+from repro.cluster.routing import make_router
+from repro.serve.framing import (
+    FRAME_ERROR,
+    FRAME_HELLO,
+    FRAME_REDIRECT,
+    FRAME_WELCOME,
+    encode_frame,
+    read_frame,
+)
+
+FAST = ServeConfig(n_segments=4, slot_duration=0.05, segment_bytes=64)
+
+
+async def dial(host, port, payload=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload if payload is not None else encode_frame(FRAME_HELLO))
+    await writer.drain()
+    frame = await asyncio.wait_for(read_frame(reader), 5)
+    writer.close()
+    return frame
+
+
+class TestController:
+    def test_requires_replicas(self):
+        with pytest.raises(ServeError, match="at least one replica"):
+            ControllerDaemon([], make_router("round-robin"))
+
+    def test_redirects_to_a_replica(self):
+        async def go():
+            cluster = await serve_cluster(FAST, n_replicas=2)
+            try:
+                frame = await dial(*cluster.address)
+                replica_ports = {d.address[1] for d in cluster.replicas}
+                return frame, replica_ports
+            finally:
+                await cluster.stop()
+
+        frame, replica_ports = asyncio.run(go())
+        assert frame.frame_type == FRAME_REDIRECT
+        assert frame.header["port"] in replica_ports
+
+    def test_non_hello_gets_error(self):
+        async def go():
+            cluster = await serve_cluster(FAST, n_replicas=1)
+            try:
+                return await dial(
+                    *cluster.address, payload=encode_frame(FRAME_REDIRECT)
+                )
+            finally:
+                await cluster.stop()
+
+        frame = asyncio.run(go())
+        assert frame.frame_type == FRAME_ERROR
+
+    def test_round_robin_spreads_clients(self):
+        async def go():
+            cluster = await serve_cluster(
+                FAST, n_replicas=2, router_name="round-robin"
+            )
+            try:
+                ports = []
+                for _ in range(6):
+                    frame = await dial(*cluster.address)
+                    ports.append(frame.header["port"])
+                return ports, [d.address[1] for d in cluster.replicas]
+            finally:
+                await cluster.stop()
+
+        ports, replica_ports = asyncio.run(go())
+        # The per-title ring deals strictly alternately.
+        assert ports == [replica_ports[i % 2] for i in range(6)]
+
+    def test_least_loaded_prefers_idle_replica(self):
+        async def go():
+            cluster = await serve_cluster(
+                FAST, n_replicas=2, router_name="least-loaded"
+            )
+            try:
+                # Park two live sessions on replica 0.
+                busy = cluster.replicas[0]
+                writers = []
+                for _ in range(2):
+                    reader, writer = await asyncio.open_connection(*busy.address)
+                    writer.write(encode_frame(FRAME_HELLO))
+                    await writer.drain()
+                    welcome = await asyncio.wait_for(read_frame(reader), 5)
+                    assert welcome.frame_type == FRAME_WELCOME
+                    writers.append(writer)
+                frame = await dial(*cluster.address)
+                for writer in writers:
+                    writer.close()
+                return frame.header["port"], cluster.replicas[1].address[1]
+            finally:
+                await cluster.stop()
+
+        chosen_port, idle_port = asyncio.run(go())
+        assert chosen_port == idle_port
+
+    def test_unknown_router_rejected(self):
+        async def go():
+            await serve_cluster(FAST, n_replicas=1, router_name="nope")
+
+        with pytest.raises(ServeError, match="unknown router"):
+            asyncio.run(go())
+
+    def test_replica_handle_pressure_without_daemon(self):
+        assert ReplicaHandle("127.0.0.1", 1234).pressure(0) == 0.0
+
+    def test_end_to_end_redirect_then_serve(self):
+        """A client following the REDIRECT lands a real session."""
+
+        async def go():
+            cluster = await serve_cluster(FAST, n_replicas=2)
+            try:
+                frame = await dial(*cluster.address)
+                reader, writer = await asyncio.open_connection(
+                    frame.header["host"], frame.header["port"]
+                )
+                writer.write(encode_frame(FRAME_HELLO, {"want": "first"}))
+                await writer.drain()
+                welcome = await asyncio.wait_for(read_frame(reader), 5)
+                writer.close()
+                return welcome
+            finally:
+                await cluster.stop()
+
+        welcome = asyncio.run(go())
+        assert welcome.frame_type == FRAME_WELCOME
+        assert welcome.header["n_segments"] == FAST.n_segments

@@ -1,0 +1,207 @@
+"""Broadcast-daemon behaviour on loopback: handshake, bound, eviction.
+
+No pytest-asyncio in the toolchain, so each test drives its own event loop
+with ``asyncio.run`` from a synchronous test function.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve import BroadcastDaemon, ServeConfig, predicted_wait_bound
+from repro.serve.framing import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_FIN,
+    FRAME_HELLO,
+    FRAME_SEGMENT,
+    FRAME_WELCOME,
+    encode_frame,
+    read_frame,
+)
+
+#: Fast slots keep every test under a couple of seconds of wall time.
+FAST = ServeConfig(n_segments=6, slot_duration=0.05, segment_bytes=128)
+
+
+async def hello(host, port, want="first"):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(encode_frame(FRAME_HELLO, {"want": want}))
+    await writer.drain()
+    return reader, writer
+
+
+class TestHandshake:
+    def test_welcome_advertises_serving_parameters(self):
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            try:
+                reader, writer = await hello(*daemon.address)
+                welcome = await asyncio.wait_for(read_frame(reader), 5)
+                writer.close()
+                return welcome
+            finally:
+                await daemon.stop()
+
+        welcome = asyncio.run(go())
+        assert welcome.frame_type == FRAME_WELCOME
+        assert welcome.header["n_segments"] == FAST.n_segments
+        assert welcome.header["slot_duration"] == FAST.slot_duration
+        assert welcome.header["segment_bytes"] == FAST.segment_bytes
+        assert welcome.header["session"] >= 1
+
+    def test_non_hello_first_frame_gets_error(self):
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            try:
+                host, port = daemon.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(encode_frame(FRAME_BYE))
+                await writer.drain()
+                frame = await asyncio.wait_for(read_frame(reader), 5)
+                writer.close()
+                return frame
+            finally:
+                await daemon.stop()
+
+        frame = asyncio.run(go())
+        assert frame.frame_type == FRAME_ERROR
+        assert "expected HELLO" in frame.header["error"]
+
+
+class TestBroadcast:
+    def test_first_segment_within_dhb_bound(self):
+        """DHB schedules S_1 in the next slot: wait <= d plus overhead."""
+
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            loop = asyncio.get_running_loop()
+            try:
+                t0 = loop.time()
+                reader, writer = await hello(*daemon.address)
+                while True:
+                    frame = await asyncio.wait_for(read_frame(reader), 5)
+                    if frame.frame_type == FRAME_SEGMENT:
+                        wait = loop.time() - t0
+                        writer.close()
+                        return frame, wait
+            finally:
+                await daemon.stop()
+
+        frame, wait = asyncio.run(go())
+        assert frame.header["segment"] == 1
+        assert len(frame.body) == FAST.segment_bytes
+        # The hard bound is one slot; 2x covers CI scheduling noise.
+        assert wait <= 2 * predicted_wait_bound(FAST)
+
+    def test_want_all_receives_every_segment(self):
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            try:
+                reader, writer = await hello(*daemon.address, want="all")
+                seen = set()
+                while len(seen) < FAST.n_segments:
+                    frame = await asyncio.wait_for(read_frame(reader), 5)
+                    if frame.frame_type == FRAME_SEGMENT:
+                        seen.add(frame.header["segment"])
+                writer.close()
+                return seen
+            finally:
+                await daemon.stop()
+
+        assert asyncio.run(go()) == set(range(1, FAST.n_segments + 1))
+
+    def test_fin_on_graceful_shutdown(self):
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            reader, writer = await hello(*daemon.address)
+            await asyncio.wait_for(read_frame(reader), 5)  # WELCOME
+            await daemon.stop()
+            while True:
+                frame = await asyncio.wait_for(read_frame(reader), 5)
+                if frame.frame_type != FRAME_SEGMENT:
+                    writer.close()
+                    return frame
+
+        frame = asyncio.run(go())
+        assert frame.frame_type == FRAME_FIN
+        assert frame.header["reason"] == "shutdown"
+
+
+class TestBackpressure:
+    def test_slow_client_is_evicted_not_waited_for(self):
+        """A non-reading client fills its bounded queue and gets dropped,
+        while a healthy client on the same daemon keeps receiving."""
+        # Big frames fill the socket buffers fast, so the stalled client's
+        # writer blocks and its queue backs up within a few slots.  The
+        # queue bound must cover one slot's worth of instances (a tick
+        # offers them without yielding), hence n_segments, not 1.
+        config = ServeConfig(
+            n_segments=8,
+            slot_duration=0.05,
+            segment_bytes=256 * 1024,
+            queue_frames=8,
+        )
+        metrics = MetricsRegistry()
+
+        async def drive_arrivals(address, count, spacing):
+            """Fresh requests each slot keep new segment instances flowing."""
+            for _ in range(count):
+                reader, writer = await hello(*address)
+                await asyncio.wait_for(read_frame(reader), 5)  # WELCOME
+                writer.close()
+                await asyncio.sleep(spacing)
+
+        async def go():
+            daemon = BroadcastDaemon(config, metrics=metrics)
+            await daemon.start()
+            try:
+                # The slow client handshakes, then never reads a byte.
+                _, slow_writer = await hello(*daemon.address)
+                healthy_reader, healthy_writer = await hello(*daemon.address)
+                driver = asyncio.create_task(
+                    drive_arrivals(daemon.address, 30, config.slot_duration)
+                )
+                segments = 0
+                deadline = asyncio.get_running_loop().time() + 10
+                try:
+                    while metrics.counter("serve.sessions.evicted").value == 0:
+                        if asyncio.get_running_loop().time() > deadline:
+                            raise AssertionError("no eviction within 10s")
+                        frame = await asyncio.wait_for(
+                            read_frame(healthy_reader), 5
+                        )
+                        if frame.frame_type == FRAME_SEGMENT:
+                            segments += 1
+                finally:
+                    driver.cancel()
+                slow_writer.close()
+                healthy_writer.close()
+                return segments
+            finally:
+                await daemon.stop()
+
+        healthy_segments = asyncio.run(go())
+        assert metrics.counter("serve.sessions.evicted").value >= 1
+        # The healthy session was never starved by the stalled one.
+        assert healthy_segments >= 1
+
+    def test_queue_bound_resolution_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_FRAMES", "7")
+        assert ServeConfig().resolve_queue_frames() == 7
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_FRAMES", "junk")
+        with pytest.warns(RuntimeWarning):
+            assert ServeConfig().resolve_queue_frames() == 64
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_FRAMES", "0")
+        with pytest.warns(RuntimeWarning):
+            assert ServeConfig().resolve_queue_frames() == 64
+        # An explicit value is code and beats any environment setting.
+        assert ServeConfig(queue_frames=3).resolve_queue_frames() == 3

@@ -1,0 +1,150 @@
+"""Wire-format unit tests: round-trips, limits, malformed input."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.framing import (
+    FRAME_BYE,
+    FRAME_ERROR,
+    FRAME_FIN,
+    FRAME_HELLO,
+    FRAME_NAMES,
+    FRAME_REDIRECT,
+    FRAME_SEGMENT,
+    FRAME_WELCOME,
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    Frame,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def roundtrip(frame_type, header=None, body=b""):
+    return decode_frame(encode_frame(frame_type, header, body))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame_type", sorted(FRAME_NAMES))
+    def test_every_type_roundtrips(self, frame_type):
+        frame = roundtrip(frame_type, {"k": 1}, b"xyz")
+        assert frame == Frame(frame_type, {"k": 1}, b"xyz")
+
+    def test_empty_header_and_body(self):
+        frame = roundtrip(FRAME_BYE)
+        assert frame.header == {}
+        assert frame.body == b""
+
+    def test_segment_payload_survives_verbatim(self):
+        payload = bytes(range(256)) * 17
+        frame = roundtrip(FRAME_SEGMENT, {"segment": 3, "slot": 9}, payload)
+        assert frame.body == payload
+        assert frame.header == {"segment": 3, "slot": 9}
+
+    def test_unicode_header(self):
+        frame = roundtrip(FRAME_ERROR, {"error": "ü ≠ u"})
+        assert frame.header["error"] == "ü ≠ u"
+
+    def test_name_property(self):
+        assert Frame(FRAME_HELLO).name == "HELLO"
+        assert Frame(FRAME_WELCOME).name == "WELCOME"
+
+
+class TestLimitsAndMalformedInput:
+    def test_unknown_type_rejected_on_encode(self):
+        with pytest.raises(ServeError, match="unknown frame type"):
+            encode_frame(99)
+
+    def test_oversized_body_rejected_on_encode(self):
+        with pytest.raises(ServeError, match="wire limit"):
+            encode_frame(FRAME_SEGMENT, {}, b"\0" * (MAX_BODY_BYTES + 1))
+
+    def test_oversized_header_rejected_on_encode(self):
+        with pytest.raises(ServeError, match="wire limit"):
+            encode_frame(FRAME_HELLO, {"pad": "x" * MAX_HEADER_BYTES})
+
+    def test_bad_magic(self):
+        raw = bytearray(encode_frame(FRAME_HELLO))
+        raw[0:2] = b"ZZ"
+        with pytest.raises(ServeError, match="magic"):
+            decode_frame(bytes(raw))
+
+    def test_unknown_type_rejected_on_decode(self):
+        raw = bytearray(encode_frame(FRAME_HELLO))
+        raw[2] = 200
+        with pytest.raises(ServeError, match="unknown frame type"):
+            decode_frame(bytes(raw))
+
+    def test_truncated_frame(self):
+        raw = encode_frame(FRAME_SEGMENT, {"segment": 1}, b"abc")
+        with pytest.raises(ServeError, match="truncated|cut short"):
+            decode_frame(raw[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        raw = encode_frame(FRAME_HELLO) + b"junk"
+        with pytest.raises(ServeError, match="trailing"):
+            decode_frame(raw)
+
+    def test_non_object_header_rejected(self):
+        # The prefix is 7 bytes (magic, type, header length); splice the
+        # empty-object header "{}" into an equal-length JSON array "[]".
+        raw = encode_frame(FRAME_REDIRECT)
+        assert raw[7:9] == b"{}"
+        raw = raw[:7] + b"[]" + raw[9:]
+        with pytest.raises(ServeError, match="JSON object"):
+            decode_frame(raw)
+
+    def test_invalid_json_header_rejected(self):
+        raw = encode_frame(FRAME_REDIRECT)
+        raw = raw[:7] + b"{]" + raw[9:]
+        with pytest.raises(ServeError, match="not valid JSON"):
+            decode_frame(raw)
+
+
+class TestAsyncReadFrame:
+    def run_read(self, raw, chunk=None):
+        async def go():
+            reader = asyncio.StreamReader()
+            if chunk:
+                for start in range(0, len(raw), chunk):
+                    reader.feed_data(raw[start : start + chunk])
+            else:
+                reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(go())
+
+    def test_reads_one_frame(self):
+        frame = self.run_read(encode_frame(FRAME_FIN, {"reason": "shutdown"}))
+        assert frame.frame_type == FRAME_FIN
+        assert frame.header["reason"] == "shutdown"
+
+    def test_reads_across_tiny_chunks(self):
+        raw = encode_frame(FRAME_SEGMENT, {"segment": 2}, b"payload-bytes")
+        frame = self.run_read(raw, chunk=3)
+        assert frame.body == b"payload-bytes"
+
+    def test_eof_mid_frame_raises_incomplete(self):
+        raw = encode_frame(FRAME_SEGMENT, {"segment": 2}, b"payload")[:-2]
+        with pytest.raises(asyncio.IncompleteReadError):
+            self.run_read(raw)
+
+    def test_back_to_back_frames(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                encode_frame(FRAME_HELLO, {"want": "first"})
+                + encode_frame(FRAME_BYE)
+            )
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        first, second = asyncio.run(go())
+        assert first.frame_type == FRAME_HELLO
+        assert second.frame_type == FRAME_BYE

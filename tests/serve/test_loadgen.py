@@ -1,0 +1,189 @@
+"""Load generation: gates, quantiles, and served-vs-simulated agreement.
+
+The integration test here is the in-repo version of the CI ``serve-e2e``
+gate: a loopback daemon, a loadgen burst, zero dropped sessions, and the
+measured wait distribution agreeing with the slotted simulator's prediction
+for the same arrival offsets within the documented tolerances.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import MemoryTraceSink
+from repro.serve import (
+    BroadcastDaemon,
+    LoadgenConfig,
+    ServeConfig,
+    assert_gates,
+    compare_with_simulation,
+    empirical_quantile,
+    generate_offsets,
+    run_loadgen_async,
+    wait_for_server,
+)
+
+FAST = ServeConfig(n_segments=6, slot_duration=0.05, segment_bytes=128)
+
+
+class TestQuantiles:
+    def test_empty(self):
+        assert empirical_quantile([], 0.99) == 0.0
+
+    def test_singleton(self):
+        assert empirical_quantile([3.0], 0.5) == 3.0
+        assert empirical_quantile([3.0], 0.99) == 3.0
+
+    def test_inverse_cdf_on_known_sample(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert empirical_quantile(values, 0.5) == 50.0
+        assert empirical_quantile(values, 0.99) == 99.0
+        assert empirical_quantile(values, 1.0) == 100.0
+
+    def test_order_independent(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert empirical_quantile(values, 0.5) == 3.0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"clients": 0}, "clients"),
+            ({"duration_seconds": 0.0}, "duration"),
+            ({"arrivals": "bursty"}, "unknown arrival kind"),
+            ({"want": "everything"}, "want"),
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs, match):
+        with pytest.raises(ServeError, match=match):
+            LoadgenConfig(**kwargs)
+
+    def test_offsets_reproducible_by_seed(self):
+        config = LoadgenConfig(clients=50, duration_seconds=2.0, seed=11)
+        assert np.array_equal(generate_offsets(config), generate_offsets(config))
+
+    def test_uniform_offsets_are_evenly_spaced(self):
+        config = LoadgenConfig(
+            clients=10, duration_seconds=1.0, arrivals="uniform"
+        )
+        offsets = generate_offsets(config)
+        assert len(offsets) == 10
+        assert np.allclose(np.diff(offsets), 0.1)
+
+
+class TestGates:
+    def _result(self, **overrides):
+        from repro.serve.loadgen import LoadgenResult
+
+        defaults = dict(
+            completed=10,
+            dropped=0,
+            waits=[0.01 * i for i in range(1, 11)],
+            elapsed_seconds=1.0,
+            n_segments=6,
+            slot_duration=0.05,
+        )
+        defaults.update(overrides)
+        return LoadgenResult(**defaults)
+
+    def test_pass(self):
+        assert_gates(self._result(), max_dropped=0, p99_bound=0.2)
+
+    def test_dropped_gate(self):
+        with pytest.raises(ServeError, match="dropped"):
+            assert_gates(self._result(dropped=1), max_dropped=0)
+
+    def test_p99_gate(self):
+        with pytest.raises(ServeError, match="p99"):
+            assert_gates(self._result(), p99_bound=0.05)
+
+    def test_no_gates_no_error(self):
+        assert_gates(self._result(dropped=5))
+
+    def test_compare_requires_completions(self):
+        with pytest.raises(ServeError, match="no sessions"):
+            compare_with_simulation(self._result(completed=0, waits=[]))
+
+
+class TestAgainstDaemon:
+    def test_wait_for_server_times_out_cleanly(self):
+        async def go():
+            # TEST-NET-1 port: nothing listens there.
+            await wait_for_server("127.0.0.1", 1, timeout=0.2)
+
+        with pytest.raises(ServeError, match="no daemon answered"):
+            asyncio.run(go())
+
+    def test_loopback_run_matches_simulation(self):
+        """Served waits agree with the slotted prediction within tolerance."""
+        metrics = MetricsRegistry()
+        trace = MemoryTraceSink()
+
+        async def go():
+            daemon = BroadcastDaemon(FAST, metrics=metrics)
+            await daemon.start()
+            host, port = daemon.address
+            try:
+                config = LoadgenConfig(
+                    host=host,
+                    port=port,
+                    clients=40,
+                    duration_seconds=1.5,
+                    arrivals="uniform",
+                    want="first",
+                    seed=5,
+                )
+                return await run_loadgen_async(
+                    config, metrics=metrics, trace=trace
+                )
+            finally:
+                await daemon.stop()
+
+        result = asyncio.run(go())
+        assert result.dropped == 0
+        assert result.completed == 40
+        assert result.n_segments == FAST.n_segments
+        assert result.slot_duration == FAST.slot_duration
+        # Hard DHB bound: one slot, plus generous CI scheduling slack.
+        assert result.max_wait <= 3 * FAST.slot_duration
+
+        comparison = compare_with_simulation(result)
+        assert comparison.predicted_mean > 0
+        assert comparison.within_tolerance(), comparison.to_dict()
+
+        # The observability outputs carried the run.
+        assert metrics.counter("loadgen.sessions.completed").value == 40
+        assert metrics.counter("serve.sessions.accepted").value == 40
+        client_records = [
+            r for r in trace.records if r.get("kind") == "client"
+        ]
+        assert len(client_records) == 40
+        assert all(r["error"] is None for r in client_records)
+
+    def test_want_all_completes_sessions(self):
+        async def go():
+            daemon = BroadcastDaemon(FAST)
+            await daemon.start()
+            host, port = daemon.address
+            try:
+                config = LoadgenConfig(
+                    host=host,
+                    port=port,
+                    clients=5,
+                    duration_seconds=0.5,
+                    arrivals="uniform",
+                    want="all",
+                )
+                return await run_loadgen_async(config)
+            finally:
+                await daemon.stop()
+
+        result = asyncio.run(go())
+        assert result.dropped == 0
+        assert result.completed == 5

@@ -23,6 +23,7 @@ VERIFIED_BENCHES = (
     "runtime_quick",
     "fig7_columnar",
     "checkpoint_resume_quick",
+    "serve_loopback_quick",
 )
 
 #: Benches whose fresh detail must stay under the peak-RSS ceiling.
@@ -36,6 +37,8 @@ def _report(
     rss_mb=200.0,
     speedup=8.0,
     overhead_pct=1.5,
+    clients_per_sec=45.0,
+    p99_wait_ms=55.0,
 ):
     seconds_by_name = dict(seconds_by_name)
     for name in VERIFIED_BENCHES + MEMORY_BENCHES:
@@ -50,6 +53,9 @@ def _report(
         benches[name]["detail"]["peak_rss_mb"] = rss_mb
     benches["micro_dhb_10m"]["detail"]["speedup_vs_scalar"] = speedup
     benches["checkpoint_resume_quick"]["detail"]["overhead_pct"] = overhead_pct
+    benches["serve_loopback_quick"]["detail"].update(
+        clients_per_sec=clients_per_sec, p99_wait_ms=p99_wait_ms
+    )
     return {
         "schema": 1,
         "calibration_seconds": calibration,
@@ -145,6 +151,26 @@ class TestCompare:
         _lines, failures = compare(fresh, baseline)
         assert any("journaling overhead" in failure for failure in failures)
 
+    def test_low_serve_throughput_fails(self):
+        baseline = _report({})
+        fresh = _report({}, clients_per_sec=10.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("clients/sec" in failure for failure in failures)
+
+    def test_high_serve_p99_fails(self):
+        baseline = _report({})
+        fresh = _report({}, p99_wait_ms=120.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("p99 wait" in failure for failure in failures)
+
+    def test_missing_serve_detail_fails(self):
+        baseline = _report({})
+        fresh = _report({})
+        fresh["benches"]["serve_loopback_quick"]["detail"].clear()
+        _lines, failures = compare(fresh, baseline)
+        assert any("clients/sec" in failure for failure in failures)
+        assert any("p99 wait" in failure for failure in failures)
+
 
 class TestMain:
     def _write(self, path, report):
@@ -181,3 +207,6 @@ class TestMain:
         assert baseline["benches"]["checkpoint_resume_quick"]["detail"][
             "overhead_pct"
         ] < 5.0
+        serve_detail = baseline["benches"]["serve_loopback_quick"]["detail"]
+        assert serve_detail["clients_per_sec"] >= 25.0
+        assert serve_detail["p99_wait_ms"] <= 75.0

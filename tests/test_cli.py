@@ -172,3 +172,119 @@ def test_scenario_flag_rejected_outside_cluster(capsys):
     with pytest.raises(SystemExit):
         main(["fig7", "--quick", "--scenario", "crash"])
     assert "--scenario" in capsys.readouterr().err
+
+
+def test_parser_knows_serve_and_loadgen():
+    parser = build_parser()
+    assert parser.parse_args(["serve"]).command == "serve"
+    args = parser.parse_args(["loadgen", "--connect", "127.0.0.1:1", "--clients", "5"])
+    assert args.command == "loadgen"
+    assert args.clients == 5
+
+
+def test_loadgen_requires_connect(capsys):
+    with pytest.raises(SystemExit):
+        main(["loadgen"])
+    assert "--connect" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "argv,flag",
+    [
+        (["fig7", "--quick", "--serve-seconds", "1"], "--serve-seconds"),
+        (["fig7", "--quick", "--replicas", "2"], "--replicas"),
+        (["serve", "--clients", "5"], "--clients"),
+        (["serve", "--compare-sim"], "--compare-sim"),
+        (["fig7", "--quick", "--register-timeout", "1"], "--register-timeout"),
+    ],
+)
+def test_serving_flags_rejected_on_wrong_command(argv, flag, capsys):
+    with pytest.raises(SystemExit):
+        main(argv)
+    assert flag in capsys.readouterr().err
+
+
+def test_socket_backend_without_workers_is_a_clean_error(capsys):
+    # Satellite bugfix: no traceback, an actionable message, exit code 2.
+    rc = main(
+        [
+            "fig7",
+            "--quick",
+            "--backend",
+            "socket",
+            "--bind",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--register-timeout",
+            "0.2",
+        ]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "repro-cli: error:" in err
+    assert "no workers registered" in err
+    assert "repro-cli worker --connect" in err
+    assert "Traceback" not in err
+
+
+def test_serve_loadgen_loopback_pair(capsys, tmp_path):
+    """The CLI pair end to end: daemon thread + loadgen with every gate on."""
+    import socket
+    import threading
+
+    # Pick a free loopback port up front; loadgen's built-in connect retry
+    # (wait_for_server) absorbs the race with the daemon thread binding it.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    thread = threading.Thread(
+        target=main,
+        args=(
+            [
+                "serve",
+                "--bind",
+                f"127.0.0.1:{port}",
+                "--slot-duration",
+                "0.05",
+                "--segments",
+                "6",
+                "--serve-seconds",
+                "6",
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+
+    metrics_path = tmp_path / "loadgen.json"
+    rc = main(
+        [
+            "loadgen",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--clients",
+            "30",
+            "--duration",
+            "1",
+            "--arrivals",
+            "uniform",
+            "--max-dropped",
+            "0",
+            "--p99-bound",
+            "0.15",
+            "--compare-sim",
+            "--metrics-out",
+            str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.index("{") : out.rindex("}") + 1])
+    assert summary["dropped"] == 0
+    assert summary["completed"] == 30
+    assert summary["simulation"]["within_tolerance"] is True
+    document = json.loads(metrics_path.read_text())
+    assert document["metrics"]["counters"]["loadgen.sessions.completed"] == 30
+    thread.join(timeout=15)
