@@ -25,6 +25,9 @@ the hot loop" tripwire, not a microbenchmark suite:
 * **Serving gates.**  ``serve_loopback_quick`` must sustain the loopback
   session throughput floor, keep the p99 wait to first segment under 1.5x
   the bench slot, and report ``verified: 1`` (zero drops + sim agreement).
+* **Edge gates.**  ``edge_quick`` must finish within 1.5x of
+  ``cluster_quick`` in the same fresh report, and its measured cache hit
+  ratio must land within 0.05 of the analytic Zipf expectation.
 * **Memory and throughput ceilings.**  The columnar benches gate peak RSS
   (``micro_dhb_10m`` and ``fig7_columnar`` must stay under 1 GiB — the
   streaming-statistics promise) and ``micro_dhb_10m`` must hold a >= 5x
@@ -74,6 +77,14 @@ MAX_CHECKPOINT_OVERHEAD_PCT = 5.0
 #: DHB one-slot bound plus scheduling slack.
 MIN_SERVE_CLIENTS_PER_SEC = 25.0
 MAX_SERVE_P99_WAIT_MS = 75.0
+
+#: Edge-tier gates for ``edge_quick``: the hierarchy bench must finish
+#: within this multiple of ``cluster_quick`` in the *same* fresh report
+#: (the edge tier is a thin layer over the cluster loop, not a second
+#: simulator), and its measured cache hit ratio must land within this
+#: slack of the analytic Zipf expectation recorded alongside it.
+MAX_EDGE_OVER_CLUSTER_RATIO = 1.5
+EDGE_HIT_RATIO_SLACK = 0.05
 
 
 def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
@@ -199,6 +210,45 @@ def compare(
         lines.append(
             f"{'serve_loopback_quick':28s}   {float(throughput):.1f} clients/s "
             f">= {MIN_SERVE_CLIENTS_PER_SEC:.0f}"
+        )
+    edge_entry = fresh_benches.get("edge_quick", {})
+    cluster_seconds = fresh_benches.get("cluster_quick", {}).get("seconds")
+    edge_seconds = edge_entry.get("seconds")
+    if edge_seconds is None or cluster_seconds is None:
+        failures.append("edge_quick: missing edge/cluster timings in fresh report")
+        lines.append(failures[-1])
+    else:
+        # Same report, same machine: no calibration scaling needed.
+        edge_ratio = (float(edge_seconds) + noise_floor) / (
+            float(cluster_seconds) + noise_floor
+        )
+        if edge_ratio > MAX_EDGE_OVER_CLUSTER_RATIO:
+            failures.append(
+                f"edge_quick: {edge_ratio:.2f}x cluster_quick, over the "
+                f"{MAX_EDGE_OVER_CLUSTER_RATIO}x ceiling"
+            )
+            lines.append(failures[-1])
+        else:
+            lines.append(
+                f"{'edge_quick':28s}   x{edge_ratio:.2f} cluster_quick "
+                f"<= {MAX_EDGE_OVER_CLUSTER_RATIO}x"
+            )
+    edge_detail = edge_entry.get("detail", {})
+    hit_ratio = edge_detail.get("hit_ratio")
+    expected = edge_detail.get("expected_hit_ratio")
+    if hit_ratio is None or expected is None:
+        failures.append("edge_quick: no hit_ratio/expected_hit_ratio in detail")
+        lines.append(failures[-1])
+    elif float(hit_ratio) < float(expected) - EDGE_HIT_RATIO_SLACK:
+        failures.append(
+            f"edge_quick: hit ratio {hit_ratio} below analytic "
+            f"expectation {expected} - {EDGE_HIT_RATIO_SLACK}"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'edge_quick':28s}   hit ratio {float(hit_ratio):.3f} "
+            f">= {float(expected):.3f} - {EDGE_HIT_RATIO_SLACK}"
         )
     p99_ms = serve_detail.get("p99_wait_ms")
     if p99_ms is None or float(p99_ms) > MAX_SERVE_P99_WAIT_MS:

@@ -40,6 +40,8 @@ from repro.cluster.scenario import (
     scenario_specs,
 )
 from repro.core.dhb import DHBProtocol
+from repro.edge.cache import allocate_prefixes
+from repro.edge.scenario import preset_hierarchy, run_hierarchy
 from repro.experiments.config import SweepConfig
 from repro.experiments.fig7 import FIG7_PROTOCOLS
 from repro.experiments.runner import (
@@ -52,6 +54,7 @@ from repro.experiments.runner import (
 from repro.protocols.ud import UniversalDistributionProtocol
 from repro.runtime import Engine
 from repro.sim.slotted import SlottedSimulation
+from repro.workload.popularity import ZipfCatalog
 
 #: Quick Figure-7 grid: full protocol set, three rates, short horizons.
 QUICK_CONFIG = SweepConfig().quick()
@@ -223,6 +226,38 @@ def bench_cluster_parallel() -> Dict[str, float]:
     }
 
 
+def bench_edge_quick() -> Dict[str, float]:
+    """The quick origin→edge hierarchy (two caching edges over the cluster).
+
+    One ``run_hierarchy`` pass at the stock 25% cache budget.  The detail
+    carries the measured cache hit ratio next to the analytic expectation
+    (the popularity mass of cached titles) so the regression gate can hold
+    the simulator to the Zipf arithmetic; the gate also bounds this bench's
+    wall time relative to ``cluster_quick`` in the same report — the edge
+    tier must stay a thin layer over the pure-cluster run, not a second
+    simulator.
+    """
+    scenario = preset_hierarchy(quick=True)
+    result = run_hierarchy(scenario)
+    shares = ZipfCatalog(
+        scenario.topology.n_titles, scenario.zipf_theta
+    ).probabilities
+    allocation = allocate_prefixes(
+        scenario.prefix_policy,
+        shares,
+        scenario.topology.edges[0].cache_segments,
+        scenario.n_segments,
+    )
+    return {
+        "slots": scenario.horizon_slots,
+        "edges": scenario.topology.n_edges,
+        "admitted": result.cluster.admitted,
+        "hit_ratio": round(result.hit_ratio, 4),
+        "expected_hit_ratio": round(allocation.expected_hit_ratio(shares), 4),
+        "origin_mean_streams": round(result.origin_mean_streams, 4),
+    }
+
+
 def bench_runtime_quick() -> Dict[str, float]:
     """A mixed spec batch (sweep cells + cluster scenarios) on one Engine.
 
@@ -382,6 +417,7 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "fig7_columnar": bench_fig7_columnar,
     "cluster_quick": bench_cluster_quick,
     "cluster_quick_parallel": bench_cluster_parallel,
+    "edge_quick": bench_edge_quick,
     "runtime_quick": bench_runtime_quick,
     "checkpoint_resume_quick": bench_checkpoint_resume_quick,
     "serve_loopback_quick": bench_serve_loopback_quick,

@@ -126,6 +126,104 @@ def evz_lower_bound(
     return math.log(1.0 + duration / (wait + 1.0 / rate_per_second))
 
 
+def suffix_saturation_bandwidth(n_segments: int, prefix_segments: int) -> float:
+    """Origin saturation bandwidth for clients holding a cached prefix.
+
+    A client that already has segments ``1..k`` joins the broadcast needing
+    only the suffix; under sustained load DHB still transmits segment
+    ``S_j`` at most once every ``j`` slots, so the plateau over segments
+    ``k+1..n`` is ``H(n) - H(k)`` streams.  ``k = 0`` recovers
+    :func:`dhb_saturation_bandwidth`; ``k = n`` costs the origin nothing.
+
+    >>> round(suffix_saturation_bandwidth(99, 0), 4)
+    5.1774
+    >>> suffix_saturation_bandwidth(99, 99)
+    0.0
+    """
+    if n_segments < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n_segments}")
+    if not 0 <= prefix_segments <= n_segments:
+        raise ConfigurationError(
+            f"prefix must be in [0, {n_segments}], got {prefix_segments}"
+        )
+    if prefix_segments == 0:
+        return harmonic_number(n_segments)
+    return harmonic_number(n_segments) - harmonic_number(prefix_segments)
+
+
+def edge_backbone_savings_bound(
+    probabilities, prefixes, n_segments: int
+) -> float:
+    """Analytic fraction of backbone bandwidth an edge cache can save.
+
+    At saturation the pure origin spends ``H(n)`` streams per title; with
+    per-title cached prefixes ``k_i`` it spends ``H(n) - H(k_i)``, so the
+    popularity-weighted savings fraction is
+    ``sum(p_i * H(k_i)) / H(n)`` — the scalable-VoD-style upper bound the
+    budget study overlays on its measured curve.  Measured savings land
+    below it because real load is finite (the origin is not saturated for
+    every title) and deferrals shift joins.
+
+    >>> edge_backbone_savings_bound([1.0], [0], 99)
+    0.0
+    >>> round(edge_backbone_savings_bound([1.0], [99], 99), 4)
+    1.0
+    """
+    if n_segments < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n_segments}")
+    if len(probabilities) != len(prefixes):
+        raise ConfigurationError(
+            f"{len(probabilities)} shares for {len(prefixes)} prefixes"
+        )
+    saving = 0.0
+    for p, k in zip(probabilities, prefixes):
+        if p < 0:
+            raise ConfigurationError("title shares must be >= 0")
+        if not 0 <= k <= n_segments:
+            raise ConfigurationError(
+                f"prefix must be in [0, {n_segments}], got {k}"
+            )
+        if k > 0:
+            saving += p * harmonic_number(k)
+    return saving / harmonic_number(n_segments)
+
+
+def evz_suffix_lower_bound(
+    rate_per_second: float,
+    duration: float,
+    prefix_seconds: float,
+    wait: float = 0.0,
+) -> float:
+    """EVZ lower bound when the first ``prefix_seconds`` come from a cache.
+
+    With the prefix served locally, any origin protocol effectively delivers
+    a video of length ``D - prefix`` to clients that tolerate an extra
+    ``prefix`` seconds of origin startup slack, so the bound becomes
+    ``ln(1 + (D - prefix) / (prefix + wait + 1/λ))``.  ``prefix = 0``
+    recovers :func:`evz_lower_bound`.
+
+    >>> evz_suffix_lower_bound(0.1, 7200.0, 7200.0)
+    0.0
+    """
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be > 0, got {duration}")
+    if not 0 <= prefix_seconds <= duration:
+        raise ConfigurationError(
+            f"prefix must be in [0, {duration}], got {prefix_seconds}"
+        )
+    if wait < 0:
+        raise ConfigurationError(f"wait must be >= 0, got {wait}")
+    if rate_per_second < 0:
+        raise ConfigurationError(f"rate must be >= 0, got {rate_per_second}")
+    if rate_per_second == 0 or prefix_seconds == duration:
+        return 0.0
+    return math.log(
+        1.0
+        + (duration - prefix_seconds)
+        / (prefix_seconds + wait + 1.0 / rate_per_second)
+    )
+
+
 def fb_bandwidth(n_segments: int) -> int:
     """FB's fixed bandwidth in streams for ``n_segments`` segments."""
     if n_segments < 1:

@@ -9,6 +9,7 @@ Usage::
     repro-cli ablations [--quick]
     repro-cli variants         # the Section 4 DHB-a..d derivation table
     repro-cli cluster [--quick] [--scenario baseline|skewed|crash|all]
+    repro-cli edge [--quick] [--cache-budget F] [--prefix-policy P] [--classes SPEC]
     repro-cli worker --connect HOST:PORT   # join a socket coordinator
     repro-cli serve [--bind HOST:PORT] [--replicas N]   # live VOD daemon
     repro-cli loadgen --connect HOST:PORT [--clients N] [--duration S]
@@ -17,6 +18,11 @@ Usage::
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
 workload seed.  ``cluster`` runs the multi-server scenarios of
 ``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three).
+``edge`` runs the origin→edge hierarchy budget study of ``docs/EDGE.md``:
+backbone bandwidth saved vs pure DHB broadcast across per-edge cache
+budgets, with the analytic bound overlaid (``--cache-budget`` highlights
+one fraction, ``--prefix-policy`` picks the allocation policy,
+``--classes name:weight:share,...`` overrides the traffic classes).
 
 Execution is pluggable (results are bit-for-bit identical on every
 backend — see ``docs/ARCHITECTURE.md``)::
@@ -100,7 +106,9 @@ from .units import KILOBYTE
 from .video.matrix import matrix_like_video
 
 #: Commands that run measured sweeps and accept --metrics-out/--trace-out.
-OBSERVABLE_COMMANDS = frozenset({"fig7", "fig8", "fig9", "cluster", "loadgen"})
+OBSERVABLE_COMMANDS = frozenset(
+    {"fig7", "fig8", "fig9", "cluster", "edge", "loadgen"}
+)
 
 #: Cluster scenario names accepted by --scenario ("all" runs every preset).
 CLUSTER_SCENARIOS = ("baseline", "skewed", "crash")
@@ -332,6 +340,55 @@ def _cmd_catalog(args: argparse.Namespace) -> str:
     return header + result.render()
 
 
+def _cmd_edge(args: argparse.Namespace) -> str:
+    """Run the origin→edge budget study and summarize the focus budget."""
+    from .edge import DEFAULT_CLASSES, parse_classes, preset_hierarchy
+    from .edge.study import DEFAULT_FRACTIONS, run_budget_study
+
+    fraction = args.cache_budget if args.cache_budget is not None else 0.25
+    policy = args.prefix_policy or "popularity"
+    classes = parse_classes(args.classes) if args.classes else DEFAULT_CLASSES
+    base = preset_hierarchy(
+        seed=args.seed,
+        quick=args.quick,
+        cache_fraction=fraction,
+        prefix_policy=policy,
+        classes=classes,
+    )
+    fractions = tuple(sorted(set(DEFAULT_FRACTIONS) | {fraction}))
+    params = {
+        "quick": args.quick,
+        "cache_budget": fraction,
+        "prefix_policy": policy,
+        "classes": [cls.name for cls in classes],
+    }
+    with _observed(args, "edge", [base.name], params, args.seed) as run:
+        with _engine(args) as engine:
+            study = run_budget_study(
+                base,
+                fractions=fractions,
+                observation=run.observation,
+                engine=engine,
+            )
+    focus_segments = base.topology.edges[0].cache_segments
+    focus = next(
+        point for point in study.points if point.cache_segments == focus_segments
+    )
+    origin = base.topology.origin
+    header = (
+        f"[{base.name}] origin {origin.n_servers} servers x "
+        f"{origin.spec_of(0).capacity} channels, {origin.n_titles} titles; "
+        f"{base.topology.n_edges} edges, policy {policy}, "
+        f"Zipf({base.zipf_theta})"
+    )
+    summary = (
+        f"at {fraction:.0%} budget ({focus.cache_segments} segments/edge): "
+        f"hit ratio {focus.hit_ratio:.3f}, backbone bandwidth saved "
+        f"{focus.backbone_saved:.1%} (analytic bound {focus.theory_bound:.1%})"
+    )
+    return "\n".join([header, study.render(), summary])
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     """Run a live broadcast daemon (or controller + replicas) until told to stop."""
     import asyncio
@@ -469,6 +526,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "catalog": _cmd_catalog,
     "cluster": _cmd_cluster,
+    "edge": _cmd_edge,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
 }
@@ -577,6 +635,32 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*CLUSTER_SCENARIOS, "all"),
         default="all",
         help="which cluster preset to run (cluster command only)",
+    )
+    edge = parser.add_argument_group("edge (see docs/EDGE.md)")
+    edge.add_argument(
+        "--cache-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "per-edge prefix-cache budget as a fraction of the catalog's "
+            "segments (default 0.25); always added to the study sweep"
+        ),
+    )
+    edge.add_argument(
+        "--prefix-policy",
+        choices=("popularity", "uniform", "proportional"),
+        default=None,
+        help="cache allocation policy (default popularity)",
+    )
+    edge.add_argument(
+        "--classes",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "traffic classes as name:weight:uplink_share,... "
+            "(default premium:7:0.7,best-effort:3:0.3)"
+        ),
     )
     serve = parser.add_argument_group("serve (see docs/SERVING.md)")
     serve.add_argument(
@@ -710,6 +794,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--bind only applies with --backend socket or serve")
     if args.register_timeout is not None and args.backend != "socket":
         parser.error("--register-timeout only applies with --backend socket")
+    if args.command != "edge":
+        for flag, value in (
+            ("--cache-budget", args.cache_budget),
+            ("--prefix-policy", args.prefix_policy),
+            ("--classes", args.classes),
+        ):
+            if value is not None:
+                parser.error(f"{flag} only applies to the edge command")
     if args.command != "serve":
         for flag, value in (
             ("--replicas", args.replicas),

@@ -34,7 +34,7 @@ from ..errors import ClusterError
 from .admission import CappedServer
 
 #: Router names accepted by :func:`make_router`.
-ROUTER_NAMES = ("round-robin", "least-loaded", "affinity")
+ROUTER_NAMES = ("round-robin", "least-loaded", "affinity", "prefix-aware")
 
 
 class Router(ABC):
@@ -118,6 +118,57 @@ class AffinityRouter(Router):
         return candidates[0]
 
 
+class PrefixAwareRouter(Router):
+    """Affinity routing that spends prefix slack only under pressure.
+
+    The origin→edge hierarchy changes what a request *needs* from the
+    origin: a client whose title has a cached prefix of ``k`` segments
+    joins the broadcast for the suffix only, and its first origin deadline
+    is ``k`` slots out — slack the router *may* spend.  Spending it
+    eagerly backfires: splitting one title's viewers across replicas costs
+    broadcast sharing (each replica runs its own schedule), which at small
+    prefixes outweighs any levelling gain.  So the policy stays on the
+    affinity primary — preserving per-title sharing — and diverts a
+    prefix-hit join to the least-pressured replica only when the primary's
+    deferral pressure exceeds that replica's by more than ``k``: exactly
+    when the join's slack no longer covers riding out the primary's queue.
+
+    With an empty prefix map (``make_router("prefix-aware")``) every title
+    is cold and the policy is exactly :class:`AffinityRouter` — which is
+    what makes a zero-budget hierarchy bit-for-bit a pure-cluster run.
+    """
+
+    def __init__(self, prefixes: Optional[Dict[int, int]] = None):
+        self._prefixes: Dict[int, int] = dict(prefixes) if prefixes else {}
+
+    def set_prefixes(self, prefixes: Dict[int, int]) -> None:
+        """Replace the title → cached-prefix-length map (re-allocation hook)."""
+        self._prefixes = dict(prefixes)
+
+    def choose(
+        self,
+        title: int,
+        slot: int,
+        candidates: Sequence[CappedServer],
+    ) -> Optional[CappedServer]:
+        if not candidates:
+            return None
+        slack = self._prefixes.get(title, 0)
+        if slack <= 0:
+            return candidates[0]
+        primary = candidates[0]
+        primary_pressure = primary.pressure(slot)
+        best = primary
+        best_pressure = primary_pressure
+        for server in candidates[1:]:
+            pressure = server.pressure(slot)
+            if pressure < best_pressure:
+                best, best_pressure = server, pressure
+        if primary_pressure - best_pressure > slack:
+            return best
+        return primary
+
+
 def make_router(name: str) -> Router:
     """Build the router policy called ``name`` (see :data:`ROUTER_NAMES`)."""
     if name == "round-robin":
@@ -126,4 +177,6 @@ def make_router(name: str) -> Router:
         return LeastLoadedRouter()
     if name == "affinity":
         return AffinityRouter()
+    if name == "prefix-aware":
+        return PrefixAwareRouter()
     raise ClusterError(f"unknown router {name!r}; choose from {list(ROUTER_NAMES)}")

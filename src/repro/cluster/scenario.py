@@ -269,23 +269,62 @@ class ClusterResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _PendingJoin:
+    """An edge-deferred suffix join waiting for its origin slot."""
+
+    title: int
+    first_segment: int
+    wait: float
+    measured: bool
+
+
 def run_scenario(
     scenario: ClusterScenario,
     observation: Optional[Observation] = None,
+    *,
+    edge_tier=None,
+    router_override=None,
+    arrivals_override=None,
 ) -> ClusterResult:
-    """Simulate one cluster scenario over the shared slotted timeline."""
+    """Simulate one cluster scenario over the shared slotted timeline.
+
+    The keyword-only hooks are the origin→edge hierarchy's seam
+    (:mod:`repro.edge` — the only intended caller):
+
+    * ``edge_tier`` intercepts every arrival before routing.  Its
+      ``begin_slot(slot)`` runs at the top of each slot (the re-allocation
+      hook) and ``admit(title, t, slot, slot_end)`` returns a decision: a
+      *miss* falls through to the unmodified delivery path, a *hit* either
+      joins the origin now for the suffix (``admit_suffix``), joins at a
+      later slot (shaper deferral — queued and delivered exactly like an
+      arrival of that slot), or never joins (fully cached title).  With no
+      tier (the default) the loop is byte-for-byte the pure-cluster path.
+    * ``router_override`` substitutes a pre-configured
+      :class:`~repro.cluster.routing.Router` instance (the hierarchy's
+      prefix-aware router carries the live allocation).
+    * ``arrivals_override`` is a ``(times, titles)`` array pair replacing
+      the seeded default workload (popularity-drift plans pre-assign titles
+      phase by phase).
+
+    Deferred joins whose slot lands past the horizon are dropped
+    unmeasured, like arrivals past the horizon.
+    """
     topology = scenario.topology
     placement = topology.placement
     streams = RandomStreams(scenario.seed)
     d = scenario.slot_duration
     horizon = scenario.horizon_slots
     warmup = scenario.warmup_slots
-    times = PoissonArrivals(scenario.total_rate_per_hour).generate(
-        horizon * d, streams.get("cluster-arrivals")
-    )
-    titles = ZipfCatalog(topology.n_titles, scenario.zipf_theta).assign(
-        len(times), streams.get("cluster-titles")
-    )
+    if arrivals_override is not None:
+        times, titles = arrivals_override
+    else:
+        times = PoissonArrivals(scenario.total_rate_per_hour).generate(
+            horizon * d, streams.get("cluster-arrivals")
+        )
+        titles = ZipfCatalog(topology.n_titles, scenario.zipf_theta).assign(
+            len(times), streams.get("cluster-titles")
+        )
     context = scenario._context()
 
     def protocol_factory(title: int):
@@ -301,9 +340,12 @@ def run_scenario(
         for spec in topology.servers
     ]
     by_id = {server.server_id: server for server in servers}
-    router = make_router(scenario.router)
+    router = (
+        router_override if router_override is not None else make_router(scenario.router)
+    )
     metrics = observation.metrics if observation is not None else None
     trace = observation.trace if observation is not None else None
+    pending_joins: Dict[int, List[_PendingJoin]] = {}
 
     measured = horizon - warmup
     aggregate = np.zeros(measured, dtype=np.int64)
@@ -328,6 +370,8 @@ def run_scenario(
         run_span.__enter__()
 
     for slot in range(horizon):
+        if edge_tier is not None:
+            edge_tier.begin_slot(slot)
         # 1. Fault transitions (recoveries first: a server whose window ends
         # here is back up for the whole slot).
         for server_id in faults.recoveries_at(slot):
@@ -398,12 +442,51 @@ def run_scenario(
         slot_end = (slot + 1) * d
         slot_admitted = 0
         slot_rejected = 0
+        # Edge-deferred suffix joins due now go first: they arrived in an
+        # earlier slot, so they precede this slot's fresh arrivals.
+        for join in pending_joins.pop(slot, []):
+            candidates = [
+                by_id[replica]
+                for replica in placement.replicas_of(join.title)
+                if by_id[replica].alive and by_id[replica].has_headroom()
+            ]
+            chosen = router.choose(join.title, slot, candidates)
+            if chosen is None:
+                rejected += 1
+                slot_rejected += 1
+            else:
+                chosen.admit_suffix(join.title, slot, join.first_segment)
+                slot_admitted += 1
+                if join.measured:
+                    waits.append(join.wait)
         while arrival_index < n_arrivals and times[arrival_index] < slot_end:
             t = float(times[arrival_index])
             title = int(titles[arrival_index])
             arrival_index += 1
             if t < slot_start:
                 continue
+            first_segment = 1
+            wait = slot_end - t
+            if edge_tier is not None:
+                decision = edge_tier.admit(title, t, slot, slot_end)
+                if decision.hit:
+                    in_window = slot >= warmup
+                    if decision.served_fully:
+                        if in_window:
+                            waits.append(decision.wait)
+                        continue
+                    if decision.join_slot > slot:
+                        pending_joins.setdefault(decision.join_slot, []).append(
+                            _PendingJoin(
+                                title,
+                                decision.first_segment,
+                                decision.wait,
+                                in_window,
+                            )
+                        )
+                        continue
+                    first_segment = decision.first_segment
+                    wait = decision.wait
             candidates = [
                 by_id[replica]
                 for replica in placement.replicas_of(title)
@@ -413,11 +496,16 @@ def run_scenario(
             if chosen is None:
                 rejected += 1
                 slot_rejected += 1
-            else:
+            elif first_segment <= 1:
                 chosen.admit(title, slot)
                 slot_admitted += 1
                 if slot >= warmup:
-                    waits.append(slot_end - t)
+                    waits.append(wait)
+            else:
+                chosen.admit_suffix(title, slot, first_segment)
+                slot_admitted += 1
+                if slot >= warmup:
+                    waits.append(wait)
 
         if trace is not None:
             trace.emit(

@@ -267,3 +267,110 @@ def catalog_map(topology: ClusterTopology) -> Dict[int, Sequence[int]]:
         spec.server_id: topology.placement.titles_on(spec.server_id)
         for spec in topology.servers
     }
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One edge node: a prefix cache and a capped unicast uplink.
+
+    ``cache_segments`` is the node's prefix-cache budget in video segments
+    (the unit every prefix allocation works in — see
+    :mod:`repro.edge.cache`); ``uplink_streams`` is the per-slot unicast
+    capacity, in streams of the consumption rate ``b``, that the node's
+    traffic classes share (:mod:`repro.edge.shaping`).  A budget of zero is
+    legal and degrades the node to a pass-through.
+    """
+
+    edge_id: int
+    cache_segments: int
+    uplink_streams: float
+
+    def __post_init__(self):
+        if self.edge_id < 0:
+            raise ClusterError(f"edge_id must be >= 0, got {self.edge_id}")
+        if self.cache_segments < 0:
+            raise ClusterError(
+                f"edge {self.edge_id}: cache_segments must be >= 0, "
+                f"got {self.cache_segments}"
+            )
+        if self.uplink_streams < 0:
+            raise ClusterError(
+                f"edge {self.edge_id}: uplink_streams must be >= 0, "
+                f"got {self.uplink_streams}"
+            )
+
+
+@dataclass(frozen=True)
+class TieredTopology:
+    """An origin cluster fronted by a tier of edge nodes.
+
+    The ``origin`` fleet broadcasts (suffixes, in the hierarchy scenarios);
+    each :class:`EdgeSpec` caches title prefixes and unicasts them to its
+    attached clients.  Client↔edge attachment is a runtime concern (the
+    hierarchy scenario deals arrivals round-robin across edges); the
+    topology only owns the validated static picture.
+    """
+
+    origin: ClusterTopology
+    edges: Tuple[EdgeSpec, ...]
+
+    def __post_init__(self):
+        if not self.edges:
+            raise ClusterError("tiered topology needs >= 1 edge node")
+        ids = [spec.edge_id for spec in self.edges]
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate edge ids in {ids}")
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edge nodes."""
+        return len(self.edges)
+
+    @property
+    def n_titles(self) -> int:
+        """Catalog size (delegates to the origin placement)."""
+        return self.origin.n_titles
+
+    @property
+    def total_cache_segments(self) -> int:
+        """Sum of prefix-cache budgets across the edge tier."""
+        return sum(spec.cache_segments for spec in self.edges)
+
+
+def tiered_topology(
+    n_servers: int,
+    capacity: int,
+    n_titles: int,
+    n_edges: int,
+    cache_segments: int,
+    uplink_streams: float,
+    placement: str = "replicated",
+    theta: float = 1.0,
+    min_replicas: int = 1,
+) -> TieredTopology:
+    """A uniform origin fleet fronted by ``n_edges`` identical edge nodes.
+
+    >>> topo = tiered_topology(2, capacity=10, n_titles=4, n_edges=2,
+    ...                        cache_segments=12, uplink_streams=8.0)
+    >>> (topo.n_edges, topo.total_cache_segments, topo.origin.n_servers)
+    (2, 24, 2)
+    """
+    if n_edges < 1:
+        raise ClusterError(f"need >= 1 edge node, got {n_edges}")
+    origin = uniform_topology(
+        n_servers,
+        capacity=capacity,
+        n_titles=n_titles,
+        placement=placement,
+        theta=theta,
+        min_replicas=min_replicas,
+    )
+    edges = tuple(
+        EdgeSpec(
+            edge_id=i,
+            cache_segments=cache_segments,
+            uplink_streams=uplink_streams,
+        )
+        for i in range(n_edges)
+    )
+    return TieredTopology(origin=origin, edges=edges)

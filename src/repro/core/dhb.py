@@ -158,6 +158,60 @@ class DHBProtocol(SlottedModel):
             self.clients.append(plan)
         return plan
 
+    def handle_suffix_request(
+        self, slot: int, first_segment: int
+    ) -> Optional[ClientPlan]:
+        """Admit a client that already holds segments ``1 .. first_segment-1``.
+
+        The origin→edge hierarchy (:mod:`repro.edge`) serves video prefixes
+        from edge caches; the client joining the origin broadcast only needs
+        the *suffix*, so Figure 6's loop runs over segments
+        ``first_segment .. n`` with unchanged per-segment windows (segment
+        ``j`` is still due ``T[j]`` slots after the join) — the paper's
+        sharing rule applies to suffix joins for free.  ``first_segment = 1``
+        is exactly :meth:`handle_request`; ``first_segment`` past the last
+        segment is a configuration error (a fully cached title never joins
+        the origin).
+        """
+        if first_segment <= 1:
+            return self.handle_request(slot)
+        if first_segment > self.n_segments:
+            raise ConfigurationError(
+                f"first_segment {first_segment} beyond the last segment "
+                f"{self.n_segments}; fully cached titles do not join the origin"
+            )
+        fused = self.chooser is latest_min_load_chooser
+        plan = ClientPlan(arrival_slot=slot) if self.track_clients else None
+        schedule = self.schedule
+        instances_before = schedule.total_instances if self.metrics is not None else 0
+        for segment in range(first_segment, self.n_segments + 1):
+            window_end = slot + self._period_list[segment - 1]
+            existing = (
+                schedule.next_transmission(segment)
+                if self.enable_sharing
+                else None
+            )
+            if existing is not None and existing > slot:
+                if plan is not None:
+                    plan.assign(segment, existing, shared=True)
+                continue
+            if fused:
+                chosen = schedule.choose_latest_min(slot + 1, window_end)
+            else:
+                chosen = self.chooser(schedule.load, slot + 1, window_end)
+            schedule.add(chosen, segment)
+            if plan is not None:
+                plan.assign(segment, chosen, shared=False)
+        self.requests_admitted += 1
+        if self.metrics is not None:
+            self.metrics.counter("protocol.requests").inc()
+            self.metrics.counter("protocol.instances_scheduled").inc(
+                schedule.total_instances - instances_before
+            )
+        if plan is not None:
+            self.clients.append(plan)
+        return plan
+
     def _handle_request_fast(self, slot: int) -> None:
         """Vectorised admission for the default heuristic.
 

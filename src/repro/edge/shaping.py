@@ -1,0 +1,225 @@
+"""Policy-based traffic shaping at the edge uplink.
+
+An edge node's unicast uplink is a shared, finite resource; policy-based
+shaping (in the spirit of programmable traffic-management surveys) splits
+it into *traffic classes* — ``premium`` and ``best-effort`` by default —
+so a burst of background demand cannot starve paying viewers.  Two
+mechanisms, both deterministic so seeded runs reproduce bit for bit:
+
+* **classification** — requests are assigned to classes by weighted
+  round-robin credit accumulators: every request adds ``w_c / W`` credit
+  to each class and the class with the most credit (ties to declaration
+  order) takes the request, paying one credit.  Long-run class shares
+  converge to the weights without consuming any randomness — new RNG
+  draws would perturb the seeded cluster streams and break the
+  zero-budget bit-for-bit guarantee.
+* **token buckets** — class ``c`` earns ``share_c × uplink`` tokens per
+  slot (one token = one segment unicast in one slot).  A prefix of ``k``
+  segments costs ``k`` tokens; when the bucket cannot cover the cost the
+  request is *deferred* by exactly the slots the refill needs — the
+  client-visible wait the shaper trades for isolation.  A class with zero
+  uplink share is shaped out entirely: its requests bypass the edge and
+  fetch the whole video from the origin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One shaping class: a share of requests and a share of the uplink.
+
+    ``weight`` drives classification (class takes ``weight / Σ weights``
+    of the requests); ``uplink_share`` is the fraction of the edge uplink
+    its token bucket earns per slot.  The two are deliberately separate —
+    a premium class with a small request share and a large uplink share is
+    exactly the point of shaping.
+    """
+
+    name: str
+    weight: int
+    uplink_share: float
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("traffic class needs a name")
+        if self.weight < 1:
+            raise ConfigurationError(
+                f"class {self.name}: weight must be >= 1, got {self.weight}"
+            )
+        if not 0.0 <= self.uplink_share <= 1.0:
+            raise ConfigurationError(
+                f"class {self.name}: uplink_share must be in [0, 1], "
+                f"got {self.uplink_share}"
+            )
+
+
+#: The stock premium / best-effort split used by presets and the CLI.
+DEFAULT_CLASSES: Tuple[TrafficClass, ...] = (
+    TrafficClass("premium", weight=7, uplink_share=0.7),
+    TrafficClass("best-effort", weight=3, uplink_share=0.3),
+)
+
+
+def parse_classes(spec: str) -> Tuple[TrafficClass, ...]:
+    """Parse a CLI class spec: ``name:weight:share,name:weight:share,...``.
+
+    >>> [c.name for c in parse_classes("gold:3:0.8,bronze:1:0.2")]
+    ['gold', 'bronze']
+    """
+    classes: List[TrafficClass] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) != 3:
+            raise ConfigurationError(
+                f"bad class spec {part!r}; expected name:weight:share"
+            )
+        name, weight, share = pieces
+        try:
+            classes.append(
+                TrafficClass(name, weight=int(weight), uplink_share=float(share))
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad class spec {part!r}: {exc}") from None
+    if not classes:
+        raise ConfigurationError(f"class spec {spec!r} declares no classes")
+    return validate_classes(tuple(classes))
+
+
+def validate_classes(
+    classes: Sequence[TrafficClass],
+) -> Tuple[TrafficClass, ...]:
+    """Check a class set: unique names, uplink shares summing to <= 1."""
+    if not classes:
+        raise ConfigurationError("need >= 1 traffic class")
+    names = [cls.name for cls in classes]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate traffic class names in {names}")
+    total_share = sum(cls.uplink_share for cls in classes)
+    if total_share > 1.0 + 1e-9:
+        raise ConfigurationError(
+            f"uplink shares sum to {total_share:.3f} > 1"
+        )
+    return tuple(classes)
+
+
+class _Bucket:
+    """A token bucket with debt: refills ``rate``/slot up to ``capacity``.
+
+    ``take(cost)`` always succeeds, returning how many slots the caller
+    must wait for the refills to cover the debt.  Letting the level go
+    negative models the class's uplink queue without tracking individual
+    transfers — the deferral *is* the queueing delay.  The capacity (a few
+    slots' worth of tokens) is the burst allowance: it must dwarf one
+    prefix's cost or even an idle uplink would defer every request, the
+    token-bucket analogue of sizing the bucket to the maximum packet.
+    """
+
+    def __init__(self, rate: float, capacity: float):
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.level = float(capacity)
+
+    def refill(self) -> None:
+        self.level = min(self.level + self.rate, self.capacity)
+
+    def take(self, cost: int) -> int:
+        if self.level >= cost:
+            self.level -= cost
+            return 0
+        defer = int(math.ceil((cost - self.level) / self.rate))
+        self.level -= cost
+        return defer
+
+
+class PolicyShaper:
+    """Classify requests and meter each class's draw on the edge uplink.
+
+    Parameters
+    ----------
+    classes:
+        The traffic classes (validated; see :func:`validate_classes`).
+    uplink_streams:
+        The edge node's per-slot unicast capacity in streams; each class's
+        bucket earns ``uplink_share × uplink_streams`` tokens per slot.
+    burst_slots:
+        Bucket capacity in slots of refill — the burst allowance each
+        class may spend after an idle stretch.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[TrafficClass] = DEFAULT_CLASSES,
+        uplink_streams: float = 0.0,
+        burst_slots: float = 4.0,
+    ):
+        self.classes = validate_classes(classes)
+        if uplink_streams < 0:
+            raise ConfigurationError(
+                f"uplink_streams must be >= 0, got {uplink_streams}"
+            )
+        if burst_slots < 1:
+            raise ConfigurationError(
+                f"burst_slots must be >= 1, got {burst_slots}"
+            )
+        self.uplink_streams = float(uplink_streams)
+        self.burst_slots = float(burst_slots)
+        total_weight = sum(cls.weight for cls in self.classes)
+        self._shares = [cls.weight / total_weight for cls in self.classes]
+        self._credits = [0.0] * len(self.classes)
+        self._buckets: Dict[str, _Bucket] = {
+            cls.name: _Bucket(
+                cls.uplink_share * self.uplink_streams,
+                cls.uplink_share * self.uplink_streams * self.burst_slots,
+            )
+            for cls in self.classes
+        }
+        # Lifetime counters, per class.
+        self.requests: Dict[str, int] = {cls.name: 0 for cls in self.classes}
+        self.deferrals: Dict[str, int] = {cls.name: 0 for cls in self.classes}
+        self.deferral_slots: Dict[str, int] = {
+            cls.name: 0 for cls in self.classes
+        }
+        self.bypassed: Dict[str, int] = {cls.name: 0 for cls in self.classes}
+
+    def begin_slot(self) -> None:
+        """Refill every class bucket (call once at the top of each slot)."""
+        for bucket in self._buckets.values():
+            bucket.refill()
+
+    def classify(self) -> TrafficClass:
+        """Assign the next request to a class (weighted round-robin credits)."""
+        for index, share in enumerate(self._shares):
+            self._credits[index] += share
+        best = max(range(len(self._credits)), key=lambda i: (self._credits[i], -i))
+        self._credits[best] -= 1.0
+        chosen = self.classes[best]
+        self.requests[chosen.name] += 1
+        return chosen
+
+    def reserve(self, traffic_class: TrafficClass, segments: int) -> Optional[int]:
+        """Draw ``segments`` uplink tokens for a prefix transfer.
+
+        Returns the deferral in slots (0 = start now), or ``None`` when the
+        class has no uplink at all — the caller must bypass the edge.
+        """
+        if segments < 0:
+            raise ConfigurationError(f"segments must be >= 0, got {segments}")
+        bucket = self._buckets[traffic_class.name]
+        if bucket.rate <= 0.0:
+            self.bypassed[traffic_class.name] += 1
+            return None
+        defer = bucket.take(segments)
+        if defer > 0:
+            self.deferrals[traffic_class.name] += 1
+            self.deferral_slots[traffic_class.name] += defer
+        return defer

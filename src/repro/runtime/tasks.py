@@ -28,6 +28,11 @@ Built-in kinds
 ``cluster-scenario``
     One multi-server scenario: ``(ClusterScenario,)`` →
     :class:`~repro.cluster.scenario.ClusterResult`.
+``edge-scenario``
+    One origin+edge hierarchy run: ``(HierarchyScenario,)`` →
+    :class:`~repro.edge.scenario.HierarchyResult`.  Budget sweeps
+    (cache budget × Zipf skew × arrival rate) fan these out across any
+    backend with checkpointed resume, like every other kind.
 ``figure-render``
     The deterministic Figures 1–5 renderings: ``()`` or ``(figure,)`` →
     ``str``.
@@ -84,6 +89,13 @@ def _run_cluster_scenario(payload: tuple, observation: Optional[Observation]) ->
     return run_scenario(scenario, observation=observation)
 
 
+def _run_edge_scenario(payload: tuple, observation: Optional[Observation]) -> Any:
+    from ..edge.scenario import run_hierarchy
+
+    (scenario,) = payload
+    return run_hierarchy(scenario, observation=observation)
+
+
 def _run_figure_render(payload: tuple, observation: Optional[Observation]) -> Any:
     from ..experiments.fig1to5 import render_all_figures, render_figure
 
@@ -99,6 +111,7 @@ BUILTIN_KINDS: Dict[str, Handler] = {
     "ablation-series": _run_ablation_series,
     "catalog-title": _run_catalog_title,
     "cluster-scenario": _run_cluster_scenario,
+    "edge-scenario": _run_edge_scenario,
     "figure-render": _run_figure_render,
 }
 

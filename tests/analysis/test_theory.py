@@ -10,13 +10,16 @@ from hypothesis import strategies as st
 from repro.analysis.theory import (
     batching_cost_rate,
     dhb_saturation_bandwidth,
+    edge_backbone_savings_bound,
     evz_lower_bound,
+    evz_suffix_lower_bound,
     fb_bandwidth,
     harmonic_number,
     optimal_catching_channels,
     optimal_patching_window,
     patching_cost_rate,
     staggered_catching_cost_rate,
+    suffix_saturation_bandwidth,
 )
 from repro.errors import ConfigurationError
 
@@ -97,6 +100,85 @@ class TestEVZBound:
         for rate in [1.0, 10.0, 100.0, 1000.0]:
             lam = rate / 3600.0
             assert evz_lower_bound(lam, 7200.0) <= patching_cost_rate(lam, 7200.0)
+
+
+class TestSuffixBandwidth:
+    def test_limits_recover_the_full_and_empty_cases(self):
+        assert suffix_saturation_bandwidth(99, 0) == dhb_saturation_bandwidth(99)
+        assert suffix_saturation_bandwidth(99, 99) == 0.0
+
+    def test_is_the_harmonic_tail(self):
+        assert suffix_saturation_bandwidth(60, 15) == pytest.approx(
+            harmonic_number(60) - harmonic_number(15)
+        )
+
+    def test_monotone_in_prefix(self):
+        values = [suffix_saturation_bandwidth(60, k) for k in range(0, 61, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            suffix_saturation_bandwidth(0, 0)
+        with pytest.raises(ConfigurationError):
+            suffix_saturation_bandwidth(10, 11)
+
+
+class TestEdgeSavingsBound:
+    def test_limits(self):
+        assert edge_backbone_savings_bound([1.0], [0], 99) == 0.0
+        assert edge_backbone_savings_bound([1.0], [99], 99) == pytest.approx(1.0)
+
+    def test_weights_by_popularity(self):
+        # Caching the hot title's prefix saves more than the cold title's.
+        hot = edge_backbone_savings_bound([0.8, 0.2], [10, 0], 60)
+        cold = edge_backbone_savings_bound([0.8, 0.2], [0, 10], 60)
+        assert hot == pytest.approx(4 * cold)
+        assert hot == pytest.approx(
+            0.8 * harmonic_number(10) / harmonic_number(60)
+        )
+
+    def test_monotone_in_every_prefix(self):
+        shares = [0.5, 0.3, 0.2]
+        previous = -1.0
+        for k in range(0, 61, 12):
+            bound = edge_backbone_savings_bound(shares, [k, k, k], 60)
+            assert bound > previous
+            previous = bound
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            edge_backbone_savings_bound([1.0], [0, 1], 10)
+        with pytest.raises(ConfigurationError):
+            edge_backbone_savings_bound([-0.1], [1], 10)
+        with pytest.raises(ConfigurationError):
+            edge_backbone_savings_bound([1.0], [11], 10)
+
+
+class TestEVZSuffixBound:
+    def test_zero_prefix_recovers_the_plain_bound(self):
+        lam = 100.0 / 3600.0
+        assert evz_suffix_lower_bound(lam, 7200.0, 0.0) == pytest.approx(
+            evz_lower_bound(lam, 7200.0)
+        )
+
+    def test_full_prefix_costs_nothing(self):
+        assert evz_suffix_lower_bound(0.1, 7200.0, 7200.0) == 0.0
+
+    def test_prefix_relaxes_the_bound(self):
+        lam = 100.0 / 3600.0
+        values = [
+            evz_suffix_lower_bound(lam, 7200.0, prefix)
+            for prefix in [0.0, 600.0, 1800.0, 3600.0]
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            evz_suffix_lower_bound(1.0, 7200.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            evz_suffix_lower_bound(1.0, 7200.0, 8000.0)
+        with pytest.raises(ConfigurationError):
+            evz_suffix_lower_bound(1.0, 7200.0, 0.0, wait=-1.0)
 
 
 def test_fb_bandwidth():

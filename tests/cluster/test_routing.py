@@ -6,6 +6,7 @@ from repro.cluster.admission import CappedServer
 from repro.cluster.routing import (
     AffinityRouter,
     LeastLoadedRouter,
+    PrefixAwareRouter,
     RoundRobinRouter,
     make_router,
 )
@@ -109,9 +110,51 @@ class TestRouters:
             assert router.choose(0, 0, servers) is servers[0]
 
     def test_all_reject_on_empty_candidates(self):
-        for name in ("round-robin", "least-loaded", "affinity"):
+        for name in ("round-robin", "least-loaded", "affinity", "prefix-aware"):
             assert make_router(name).choose(0, 0, []) is None
 
     def test_make_router_unknown(self):
         with pytest.raises(ClusterError):
             make_router("random")
+
+
+def pressured_server(server_id, slots=4):
+    """A server carrying deferred backlog — nonzero pressure at ``slots``."""
+    server = make_server(server_id)
+    for slot in range(slots):
+        server.admit(0, slot=slot)
+        server.finalize_slot(slot + 1, capacity=0)
+    return server
+
+
+class TestPrefixAwareRouter:
+    def test_empty_map_is_exactly_affinity(self):
+        router = make_router("prefix-aware")
+        assert isinstance(router, PrefixAwareRouter)
+        heavy, light = pressured_server(0), make_server(1)
+        # Without a cached prefix there is no slack to spend: the request
+        # sticks to the loaded primary exactly as AffinityRouter would.
+        for _ in range(3):
+            assert router.choose(0, 4, [heavy, light]) is heavy
+
+    def test_small_pressure_gap_stays_on_primary(self):
+        heavy, light = pressured_server(0), make_server(1)
+        gap = heavy.pressure(4) - light.pressure(4)
+        router = PrefixAwareRouter({0: gap})
+        # Gap <= slack: riding out the primary's queue preserves sharing.
+        assert router.choose(0, 4, [heavy, light]) is heavy
+
+    def test_pressure_beyond_slack_diverts(self):
+        heavy, light = pressured_server(0), make_server(1)
+        assert heavy.pressure(4) - light.pressure(4) > 2
+        router = PrefixAwareRouter({0: 2})
+        assert router.choose(0, 4, [heavy, light]) is light
+        # Other titles keep affinity: the slack is per-title.
+        assert router.choose(1, 4, [heavy, light]) is heavy
+
+    def test_set_prefixes_retargets_decisions(self):
+        heavy, light = pressured_server(0), make_server(1)
+        router = PrefixAwareRouter()
+        assert router.choose(0, 4, [heavy, light]) is heavy
+        router.set_prefixes({0: 2})
+        assert router.choose(0, 4, [heavy, light]) is light

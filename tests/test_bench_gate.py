@@ -39,10 +39,16 @@ def _report(
     overhead_pct=1.5,
     clients_per_sec=45.0,
     p99_wait_ms=55.0,
+    edge_seconds=0.02,
+    cluster_seconds=0.02,
+    edge_hit_ratio=0.95,
+    edge_expected=0.95,
 ):
     seconds_by_name = dict(seconds_by_name)
     for name in VERIFIED_BENCHES + MEMORY_BENCHES:
         seconds_by_name.setdefault(name, 0.5)
+    seconds_by_name.setdefault("edge_quick", edge_seconds)
+    seconds_by_name.setdefault("cluster_quick", cluster_seconds)
     benches = {
         name: {"seconds": seconds, "detail": {}}
         for name, seconds in seconds_by_name.items()
@@ -55,6 +61,9 @@ def _report(
     benches["checkpoint_resume_quick"]["detail"]["overhead_pct"] = overhead_pct
     benches["serve_loopback_quick"]["detail"].update(
         clients_per_sec=clients_per_sec, p99_wait_ms=p99_wait_ms
+    )
+    benches["edge_quick"]["detail"].update(
+        hit_ratio=edge_hit_ratio, expected_hit_ratio=edge_expected
     )
     return {
         "schema": 1,
@@ -171,6 +180,32 @@ class TestCompare:
         assert any("clients/sec" in failure for failure in failures)
         assert any("p99 wait" in failure for failure in failures)
 
+    def test_edge_over_cluster_ceiling_fails(self):
+        baseline = _report({})
+        # The ratio is fresh-report-internal, so the baseline's timings
+        # don't matter; a noise-proof 10s vs 1s fresh split must trip it.
+        fresh = _report({}, edge_seconds=10.0, cluster_seconds=1.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("1.5x ceiling" in failure for failure in failures)
+
+    def test_edge_hit_ratio_below_expectation_fails(self):
+        baseline = _report({})
+        fresh = _report({}, edge_hit_ratio=0.7, edge_expected=0.9)
+        _lines, failures = compare(fresh, baseline)
+        assert any("analytic" in failure for failure in failures)
+
+    def test_edge_hit_ratio_within_slack_passes(self):
+        report = _report({}, edge_hit_ratio=0.87, edge_expected=0.9)
+        _lines, failures = compare(report, report)
+        assert failures == []
+
+    def test_missing_edge_detail_fails(self):
+        baseline = _report({})
+        fresh = _report({})
+        fresh["benches"]["edge_quick"]["detail"].clear()
+        _lines, failures = compare(fresh, baseline)
+        assert any("expected_hit_ratio" in failure for failure in failures)
+
 
 class TestMain:
     def _write(self, path, report):
@@ -210,3 +245,9 @@ class TestMain:
         serve_detail = baseline["benches"]["serve_loopback_quick"]["detail"]
         assert serve_detail["clients_per_sec"] >= 25.0
         assert serve_detail["p99_wait_ms"] <= 75.0
+        edge_detail = baseline["benches"]["edge_quick"]["detail"]
+        assert edge_detail["hit_ratio"] >= edge_detail["expected_hit_ratio"] - 0.05
+        assert (
+            baseline["benches"]["edge_quick"]["seconds"]
+            <= 1.5 * baseline["benches"]["cluster_quick"]["seconds"] + 0.005
+        )

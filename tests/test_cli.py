@@ -174,6 +174,70 @@ def test_scenario_flag_rejected_outside_cluster(capsys):
     assert "--scenario" in capsys.readouterr().err
 
 
+def test_parser_knows_edge():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "edge",
+            "--quick",
+            "--cache-budget",
+            "0.5",
+            "--prefix-policy",
+            "uniform",
+            "--classes",
+            "gold:3:0.8,bronze:1:0.2",
+        ]
+    )
+    assert args.command == "edge"
+    assert args.cache_budget == pytest.approx(0.5)
+    assert args.prefix_policy == "uniform"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["edge", "--prefix-policy", "lru"])
+
+
+def test_edge_quick(capsys):
+    assert main(["edge", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "hit ratio" in out
+    assert "saved" in out
+    assert "bound" in out
+
+
+def test_edge_quick_with_metrics(tmp_path, capsys):
+    metrics_path = tmp_path / "edge.json"
+    assert (
+        main(["edge", "--quick", "--metrics-out", str(metrics_path)]) == 0
+    )
+    assert "hit ratio" in capsys.readouterr().out
+    document = json.loads(metrics_path.read_text())
+    assert document["manifest"]["experiment"] == "edge"
+    counters = document["metrics"]["counters"]
+    assert counters["edge.cache.hits"] > 0
+    assert "edge.class.premium.requests" in counters
+
+
+def test_edge_rejects_bad_classes(capsys):
+    # Configuration errors surface as a clean exit code 2, no traceback.
+    assert main(["edge", "--quick", "--classes", "gold:3"]) == 2
+    err = capsys.readouterr().err
+    assert "name:weight:share" in err
+    assert "Traceback" not in err
+
+
+@pytest.mark.parametrize(
+    "argv,flag",
+    [
+        (["fig7", "--quick", "--cache-budget", "0.5"], "--cache-budget"),
+        (["cluster", "--quick", "--prefix-policy", "uniform"], "--prefix-policy"),
+        (["fig8", "--quick", "--classes", "a:1:0.5"], "--classes"),
+    ],
+)
+def test_edge_flags_rejected_on_wrong_command(argv, flag, capsys):
+    with pytest.raises(SystemExit):
+        main(argv)
+    assert flag in capsys.readouterr().err
+
+
 def test_parser_knows_serve_and_loadgen():
     parser = build_parser()
     assert parser.parse_args(["serve"]).command == "serve"
