@@ -28,6 +28,12 @@ the hot loop" tripwire, not a microbenchmark suite:
 * **Edge gates.**  ``edge_quick`` must finish within 1.5x of
   ``cluster_quick`` in the same fresh report, and its measured cache hit
   ratio must land within 0.05 of the analytic Zipf expectation.
+* **Adaptive gates.**  ``adaptive_day_quick`` must report the adaptive
+  arm's day peak at or below static DHB's worst case (``verified: 1``
+  additionally requires strictly below, under the shared deadline
+  guarantee), and must finish within 1.5x of ``fig7_quick_serial`` in
+  the same fresh report — nonstationary admission stays on the
+  stationary sweep's hot path.
 * **Memory and throughput ceilings.**  The columnar benches gate peak RSS
   (``micro_dhb_10m`` and ``fig7_columnar`` must stay under 1 GiB — the
   streaming-statistics promise) and ``micro_dhb_10m`` must hold a >= 5x
@@ -86,6 +92,12 @@ MAX_SERVE_P99_WAIT_MS = 75.0
 MAX_EDGE_OVER_CLUSTER_RATIO = 1.5
 EDGE_HIT_RATIO_SLACK = 0.05
 
+#: Adaptive-DHB gates for ``adaptive_day_quick``: the nonstationary day
+#: study must keep the retuning arm's peak at or below static DHB's and
+#: finish within this multiple of the stationary quick sweep
+#: (``fig7_quick_serial``) in the same fresh report.
+MAX_ADAPTIVE_OVER_SWEEP_RATIO = 1.5
+
 
 def calibration_ratio(fresh: Dict, baseline: Dict) -> float:
     """How much faster the fresh machine is than the baseline machine.
@@ -139,6 +151,7 @@ def compare(
         "runtime_quick",
         "fig7_columnar",
         "checkpoint_resume_quick",
+        "adaptive_day_quick",
         "serve_loopback_quick",
     ):
         parallel = fresh_benches.get(verified_bench, {}).get("detail", {})
@@ -250,6 +263,47 @@ def compare(
             f"{'edge_quick':28s}   hit ratio {float(hit_ratio):.3f} "
             f">= {float(expected):.3f} - {EDGE_HIT_RATIO_SLACK}"
         )
+    adaptive_entry = fresh_benches.get("adaptive_day_quick", {})
+    adaptive_detail = adaptive_entry.get("detail", {})
+    static_peak = adaptive_detail.get("static_peak")
+    adaptive_peak = adaptive_detail.get("adaptive_peak")
+    if static_peak is None or adaptive_peak is None:
+        failures.append("adaptive_day_quick: no static/adaptive peaks in detail")
+        lines.append(failures[-1])
+    elif float(adaptive_peak) > float(static_peak):
+        failures.append(
+            f"adaptive_day_quick: adaptive peak {adaptive_peak} exceeds the "
+            f"static DHB worst case {static_peak}"
+        )
+        lines.append(failures[-1])
+    else:
+        lines.append(
+            f"{'adaptive_day_quick':28s}   peak {float(adaptive_peak):.0f} "
+            f"<= static {float(static_peak):.0f}"
+        )
+    adaptive_seconds = adaptive_entry.get("seconds")
+    sweep_seconds = fresh_benches.get("fig7_quick_serial", {}).get("seconds")
+    if adaptive_seconds is None or sweep_seconds is None:
+        failures.append(
+            "adaptive_day_quick: missing adaptive/sweep timings in fresh report"
+        )
+        lines.append(failures[-1])
+    else:
+        # Same report, same machine: no calibration scaling needed.
+        adaptive_ratio = (float(adaptive_seconds) + noise_floor) / (
+            float(sweep_seconds) + noise_floor
+        )
+        if adaptive_ratio > MAX_ADAPTIVE_OVER_SWEEP_RATIO:
+            failures.append(
+                f"adaptive_day_quick: {adaptive_ratio:.2f}x fig7_quick_serial, "
+                f"over the {MAX_ADAPTIVE_OVER_SWEEP_RATIO}x ceiling"
+            )
+            lines.append(failures[-1])
+        else:
+            lines.append(
+                f"{'adaptive_day_quick':28s}   x{adaptive_ratio:.2f} "
+                f"fig7_quick_serial <= {MAX_ADAPTIVE_OVER_SWEEP_RATIO}x"
+            )
     p99_ms = serve_detail.get("p99_wait_ms")
     if p99_ms is None or float(p99_ms) > MAX_SERVE_P99_WAIT_MS:
         failures.append(

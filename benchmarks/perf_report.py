@@ -355,6 +355,31 @@ def bench_checkpoint_resume_quick() -> Dict[str, float]:
     }
 
 
+def bench_adaptive_day_quick() -> Dict[str, float]:
+    """The quick adaptive-vs-static DHB day study (diurnal + event ring).
+
+    Replays the seeded nonstationary day through both arms serially and
+    records the peaks.  ``verified`` requires the study's acceptance
+    claim: the adaptive arm's day peak strictly below static DHB's while
+    its worst startup deferral stays within the shared deadline guarantee
+    ``W = (1 + max_slack) * d``.  The regression gate additionally holds
+    this bench's wall time to 1.5x the stationary quick sweep
+    (``fig7_quick_serial``) in the same report — nonstationary admission
+    must stay on the same hot path, not grow a second simulator.
+    """
+    from repro.experiments.adaptive import AdaptiveStudyConfig, run_adaptive_study
+
+    clear_trace_cache()
+    result = run_adaptive_study(config=AdaptiveStudyConfig().quick())
+    return {
+        "requests": result.static.n_requests,
+        "static_peak": result.static.peak_streams,
+        "adaptive_peak": result.adaptive.peak_streams,
+        "retunes": result.adaptive.retunes,
+        "verified": int(result.verified),
+    }
+
+
 def bench_serve_loopback_quick() -> Dict[str, float]:
     """A live loopback burst through the asyncio serving path.
 
@@ -420,6 +445,7 @@ BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
     "edge_quick": bench_edge_quick,
     "runtime_quick": bench_runtime_quick,
     "checkpoint_resume_quick": bench_checkpoint_resume_quick,
+    "adaptive_day_quick": bench_adaptive_day_quick,
     "serve_loopback_quick": bench_serve_loopback_quick,
 }
 

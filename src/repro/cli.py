@@ -10,13 +10,21 @@ Usage::
     repro-cli variants         # the Section 4 DHB-a..d derivation table
     repro-cli cluster [--quick] [--scenario baseline|skewed|crash|all]
     repro-cli edge [--quick] [--cache-budget F] [--prefix-policy P] [--classes SPEC]
+    repro-cli adaptive-study [--quick] [--workload SPEC]  # adaptive vs static DHB day
     repro-cli worker --connect HOST:PORT   # join a socket coordinator
     repro-cli serve [--bind HOST:PORT] [--replicas N]   # live VOD daemon
     repro-cli loadgen --connect HOST:PORT [--clients N] [--duration S]
 
 ``--quick`` shrinks horizons and the rate grid for smoke runs; the defaults
 match the paper's 1–1000 requests/hour sweep.  ``--seed`` changes the
-workload seed.  ``cluster`` runs the multi-server scenarios of
+workload seed.  ``--workload SPEC`` swaps the seeded Poisson demand for a
+nonstationary arrival process anywhere demand is consumed (see
+``docs/WORKLOADS.md`` for the grammar): repeat it to sweep fig7/fig8 over
+several workloads, or give it once to reshape cluster/edge/loadgen demand
+or the ``adaptive-study`` day.  ``adaptive-study`` replays one seeded
+diurnal+flash day through static DHB and the retuning
+``AdaptiveDHBProtocol`` and reports the hour-by-hour peak comparison.
+``cluster`` runs the multi-server scenarios of
 ``docs/CLUSTER.md`` (``--scenario`` picks one; the default runs all three).
 ``edge`` runs the origin→edge hierarchy budget study of ``docs/EDGE.md``:
 backbone bandwidth saved vs pure DHB broadcast across per-edge cache
@@ -81,7 +89,7 @@ import contextlib
 import json
 import pathlib
 import sys
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from .analysis.tables import format_series_table, format_simple_table
@@ -104,10 +112,16 @@ from .obs.trace import JsonlTraceSink, Observation
 from .runtime import CheckpointStore, Engine, RunSpec, observed_run
 from .units import KILOBYTE
 from .video.matrix import matrix_like_video
+from .workload.spec import parse_workload
 
 #: Commands that run measured sweeps and accept --metrics-out/--trace-out.
 OBSERVABLE_COMMANDS = frozenset(
-    {"fig7", "fig8", "fig9", "cluster", "edge", "loadgen"}
+    {"fig7", "fig8", "fig9", "cluster", "edge", "loadgen", "adaptive-study"}
+)
+
+#: Commands that accept --workload SPEC (fig7/fig8 accept it repeatedly).
+WORKLOAD_COMMANDS = frozenset(
+    {"fig7", "fig8", "cluster", "edge", "loadgen", "adaptive-study"}
 )
 
 #: Cluster scenario names accepted by --scenario ("all" runs every preset).
@@ -118,6 +132,11 @@ def _config(args: argparse.Namespace) -> SweepConfig:
     config = SweepConfig(seed=args.seed)
     if args.quick:
         config = config.quick()
+    if args.workload:
+        config = replace(
+            config,
+            workloads=tuple(parse_workload(spec) for spec in args.workload),
+        )
     return config
 
 
@@ -300,6 +319,9 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
     scenarios = preset_scenarios(seed=args.seed, quick=args.quick)
     if args.scenario != "all":
         scenarios = [s for s in scenarios if s.name == args.scenario]
+    if args.workload:
+        workload = parse_workload(args.workload[0])
+        scenarios = [replace(s, workload=workload) for s in scenarios]
     labels = [scenario.name for scenario in scenarios]
     params = {
         "quick": args.quick,
@@ -307,6 +329,8 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
         "scenarios": labels,
         "protocol": scenarios[0].protocol,
     }
+    if args.workload:
+        params["workload"] = scenarios[0].workload.label()
     with _observed(args, "cluster", labels, params, args.seed) as run:
         with _engine(args) as engine:
             results = run_scenarios(
@@ -355,6 +379,8 @@ def _cmd_edge(args: argparse.Namespace) -> str:
         prefix_policy=policy,
         classes=classes,
     )
+    if args.workload:
+        base = replace(base, workload=parse_workload(args.workload[0]))
     fractions = tuple(sorted(set(DEFAULT_FRACTIONS) | {fraction}))
     params = {
         "quick": args.quick,
@@ -362,6 +388,8 @@ def _cmd_edge(args: argparse.Namespace) -> str:
         "prefix_policy": policy,
         "classes": [cls.name for cls in classes],
     }
+    if args.workload:
+        params["workload"] = base.workload.label()
     with _observed(args, "edge", [base.name], params, args.seed) as run:
         with _engine(args) as engine:
             study = run_budget_study(
@@ -478,11 +506,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         arrivals=args.arrivals or "poisson",
         seed=args.seed,
         want=args.want or "first",
+        workload=args.workload[0] if args.workload else None,
     )
     params = {
         "clients": config.clients,
         "duration_seconds": config.duration_seconds,
         "arrivals": config.arrivals,
+        "workload": config.workload,
         "want": config.want,
         "target": f"{host}:{port}",
     }
@@ -517,6 +547,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
     return output
 
 
+def _cmd_adaptive_study(args: argparse.Namespace) -> str:
+    """Replay one nonstationary day through static and adaptive DHB."""
+    from .experiments.adaptive import AdaptiveStudyConfig, run_adaptive_study
+
+    config = AdaptiveStudyConfig(seed=args.seed)
+    if args.quick:
+        config = config.quick()
+    if args.workload:
+        config = replace(config, workload=parse_workload(args.workload[0]))
+    params = {
+        "quick": args.quick,
+        "workload": config.workload.label(),
+        "n_segments": config.n_segments,
+        "epoch_slots": config.epoch_slots,
+        "slack_ladder": [list(rung) for rung in config.slack_ladder],
+    }
+    with _observed(args, "adaptive-study", ["static", "adaptive"], params, args.seed) as run:
+        with _engine(args) as engine:
+            result = run_adaptive_study(
+                config=config, observation=run.observation, engine=engine
+            )
+    return result.render()
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "fig7": _cmd_fig7,
@@ -527,6 +581,7 @@ _COMMANDS = {
     "catalog": _cmd_catalog,
     "cluster": _cmd_cluster,
     "edge": _cmd_edge,
+    "adaptive-study": _cmd_adaptive_study,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
 }
@@ -553,6 +608,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="short horizons / few rates"
     )
     parser.add_argument("--seed", type=int, default=2001, help="workload seed")
+    parser.add_argument(
+        "--workload",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "nonstationary workload spec, e.g. diurnal:child,peak=120, "
+            "flash:peak=400,decay=1.5,start=19, mmpp:rates=20|200,sojourn=2|0.5, "
+            "trace:FILE, or parts joined with '+' (see docs/WORKLOADS.md); "
+            "repeat to sweep fig7/fig8 over several workloads, give once "
+            "for cluster/edge/loadgen/adaptive-study"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         "--workers",
@@ -790,6 +858,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.scenario != "all" and args.command != "cluster":
         parser.error("--scenario only applies to the cluster command")
+    if args.workload:
+        if args.command not in WORKLOAD_COMMANDS:
+            parser.error(
+                f"--workload only applies to "
+                f"{'/'.join(sorted(WORKLOAD_COMMANDS))}, not {args.command!r}"
+            )
+        if len(args.workload) > 1 and args.command not in ("fig7", "fig8"):
+            parser.error(
+                "--workload may be repeated only for the fig7/fig8 sweeps; "
+                f"give {args.command} a single spec (use '+' to superpose)"
+            )
     if args.bind and args.backend != "socket" and args.command != "serve":
         parser.error("--bind only applies with --backend socket or serve")
     if args.register_timeout is not None and args.backend != "socket":

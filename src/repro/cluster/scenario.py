@@ -45,6 +45,7 @@ from ..server.provisioning import ProvisioningResult
 from ..sim.rng import RandomStreams
 from ..workload.arrivals import PoissonArrivals
 from ..workload.popularity import ZipfCatalog
+from ..workload.spec import WorkloadSpec, as_workload
 from .admission import CappedServer
 from .faults import (
     NO_FAULTS,
@@ -79,8 +80,16 @@ class ClusterScenario:
     faults: FaultSchedule = NO_FAULTS
     backlog_limit: Optional[int] = None
     keep_title_series: bool = True
+    #: Optional nonstationary aggregate arrival process.  ``None`` keeps the
+    #: seeded homogeneous Poisson at ``total_rate_per_hour`` bit-for-bit;
+    #: a :class:`~repro.workload.spec.WorkloadSpec` (or spec string / rate,
+    #: normalised on construction) replaces it, drawn from a stream named by
+    #: the spec's canonical digest.  Titles stay Zipf-assigned either way.
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self):
+        if self.workload is not None:
+            object.__setattr__(self, "workload", as_workload(self.workload))
         if self.router not in ROUTER_NAMES:
             raise ClusterError(
                 f"unknown router {self.router!r}; choose from {list(ROUTER_NAMES)}"
@@ -112,10 +121,15 @@ class ClusterScenario:
             )
 
     def _context(self) -> ProtocolContext:
+        rate = (
+            self.workload.mean_rate_per_hour
+            if self.workload is not None
+            else self.total_rate_per_hour
+        )
         return ProtocolContext(
             n_segments=self.n_segments,
             duration=self.n_segments * self.slot_duration,
-            rate_per_hour=max(self.total_rate_per_hour, 1e-9),
+            rate_per_hour=max(rate, 1e-9),
         )
 
 
@@ -319,9 +333,17 @@ def run_scenario(
     if arrivals_override is not None:
         times, titles = arrivals_override
     else:
-        times = PoissonArrivals(scenario.total_rate_per_hour).generate(
-            horizon * d, streams.get("cluster-arrivals")
-        )
+        if scenario.workload is None:
+            times = PoissonArrivals(scenario.total_rate_per_hour).generate(
+                horizon * d, streams.get("cluster-arrivals")
+            )
+        else:
+            stream_name = (
+                f"cluster-arrivals@wl:{scenario.workload.digest()[:12]}"
+            )
+            times = scenario.workload.process().generate(
+                horizon * d, streams.get(stream_name)
+            )
         titles = ZipfCatalog(topology.n_titles, scenario.zipf_theta).assign(
             len(times), streams.get("cluster-titles")
         )

@@ -11,12 +11,20 @@ Modules
   ``T[j]`` (uniform ``T[j] = j`` for CBR; custom vectors for VBR).
 * :mod:`repro.core.client` — client reception plans and on-time verification.
 * :mod:`repro.core.dhb` — the protocol itself.
+* :mod:`repro.core.adaptive` — DHB with an epoch-retuned slack dial for
+  nonstationary workloads (EWMA rate estimator + slack ladder).
 * :mod:`repro.core.variants` — the DHB-a/b/c/d configurations of Section 4.
 * :mod:`repro.core.bandwidth_limited` — extension: DHB with a cap on the
   number of streams a client may receive simultaneously (the paper's
   future-work item).
 """
 
+from .adaptive import (
+    AdaptiveDHBProtocol,
+    RetuneEvent,
+    SlotRateEstimator,
+    default_slack_ladder,
+)
 from .bandwidth_limited import BandwidthLimitedDHB
 from .buffer import BufferProfile, buffer_profile, worst_case_buffer
 from .client import ClientPlan
@@ -36,6 +44,7 @@ from .schedule import SlotSchedule
 from .variants import DHBVariant, dhb_a, dhb_b, dhb_c, dhb_d, make_all_variants
 
 __all__ = [
+    "AdaptiveDHBProtocol",
     "BandwidthLimitedDHB",
     "BufferProfile",
     "ClientPlan",
@@ -43,10 +52,13 @@ __all__ = [
     "DHBVariant",
     "InteractiveDHB",
     "PeriodVector",
+    "RetuneEvent",
     "SlotChooser",
+    "SlotRateEstimator",
     "SlotSchedule",
     "always_latest_chooser",
     "buffer_profile",
+    "default_slack_ladder",
     "dhb_a",
     "dhb_b",
     "dhb_c",

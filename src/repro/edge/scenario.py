@@ -30,6 +30,7 @@ from ..errors import ConfigurationError
 from ..obs.trace import Observation
 from ..sim.rng import RandomStreams
 from ..workload.popularity import ZipfCatalog
+from ..workload.spec import WorkloadSpec, as_workload
 from .cache import PREFIX_POLICY_NAMES, allocate_prefixes
 from .node import EdgeNode, EdgeTier
 from .shaping import DEFAULT_CLASSES, PolicyShaper, TrafficClass, validate_classes
@@ -54,8 +55,14 @@ class HierarchyScenario:
     zipf_theta: float = 1.0
     seed: int = 2001
     keep_title_series: bool = True
+    #: Optional nonstationary aggregate arrivals for the whole hierarchy;
+    #: forwarded to the origin :class:`ClusterScenario` (``None`` keeps the
+    #: seeded Poisson at ``total_rate_per_hour`` bit-for-bit).
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self):
+        if self.workload is not None:
+            object.__setattr__(self, "workload", as_workload(self.workload))
         if self.prefix_policy not in PREFIX_POLICY_NAMES:
             raise ConfigurationError(
                 f"unknown prefix policy {self.prefix_policy!r}; "
@@ -99,6 +106,7 @@ class HierarchyScenario:
             zipf_theta=self.zipf_theta,
             seed=self.seed,
             keep_title_series=self.keep_title_series,
+            workload=self.workload,
         )
 
     def with_cache_budget(self, cache_segments: int) -> "HierarchyScenario":

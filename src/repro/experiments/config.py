@@ -9,9 +9,10 @@ discarded, seeded workloads shared across protocols).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Tuple, Union
 
 from ..errors import ConfigurationError
+from ..workload.spec import WorkloadSpec, as_workload
 from ..runtime.config import (
     DEFAULT_BASE_HOURS,
     DEFAULT_MIN_REQUESTS,
@@ -52,6 +53,13 @@ class SweepConfig:
         Experiment seed; each (protocol-independent) rate gets its own
         derived arrival stream, shared by every protocol at that rate
         (common random numbers).
+    workloads:
+        Optional nonstationary sweep axis.  When non-empty, the sweep
+        iterates over these :class:`~repro.workload.spec.WorkloadSpec`
+        points *instead of* ``rates_per_hour`` (entries may be given as
+        spec strings or rates; they are normalised to specs).  Each point
+        is labelled and horizon-sized by its ``mean_rate_per_hour``, and
+        its arrival trace is cached under the spec's canonical digest.
     """
 
     duration: float = TWO_HOURS
@@ -61,6 +69,7 @@ class SweepConfig:
     min_requests: int = DEFAULT_MIN_REQUESTS
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION
     seed: int = DEFAULT_SEED
+    workloads: Tuple[WorkloadSpec, ...] = ()
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -77,6 +86,14 @@ class SweepConfig:
             raise ConfigurationError("min_requests must be >= 1")
         if not 0 <= self.warmup_fraction < 1:
             raise ConfigurationError("warmup_fraction must be in [0, 1)")
+        object.__setattr__(
+            self, "workloads", tuple(as_workload(w) for w in self.workloads)
+        )
+        for spec in self.workloads:
+            if spec.mean_rate_per_hour <= 0:
+                raise ConfigurationError(
+                    f"workload {spec.label()!r} has non-positive mean rate"
+                )
 
     @property
     def slot_duration(self) -> float:
@@ -88,6 +105,27 @@ class SweepConfig:
         if rate_per_hour <= 0:
             raise ConfigurationError("rate must be > 0")
         return max(self.base_hours, self.min_requests / rate_per_hour)
+
+    def sweep_points(self) -> Tuple[Union[float, WorkloadSpec], ...]:
+        """The points this sweep iterates over.
+
+        Floats (the stationary rate axis) unless :attr:`workloads` is set,
+        in which case the workload specs themselves.  Downstream code keys
+        caches, labels, and payloads off these values directly, so the
+        float form stays bit-identical to the pre-workload sweeps.
+        """
+        return self.workloads if self.workloads else self.rates_per_hour
+
+    @staticmethod
+    def nominal_rate(point: Union[float, WorkloadSpec]) -> float:
+        """Mean request rate of a sweep point (req/hour)."""
+        if isinstance(point, WorkloadSpec):
+            return point.mean_rate_per_hour
+        return float(point)
+
+    def horizon_hours_for(self, point: Union[float, WorkloadSpec]) -> float:
+        """Simulated hours for one sweep point (rate or workload)."""
+        return self.horizon_hours(self.nominal_rate(point))
 
     def quick(self, **overrides) -> "SweepConfig":
         """A cheaper copy for tests: short horizons, few rates.

@@ -24,10 +24,14 @@ from ..runtime.cache import clear_cache
 from ..runtime.seeds import arrival_trace, replication_seed
 from ..sim.continuous import ContinuousSimulation, ReactiveModel
 from ..sim.slotted import SlottedModel, SlottedSimulation
+from ..workload.spec import WorkloadSpec
 from .config import SweepConfig
 
 AnyProtocol = Union[SlottedModel, ReactiveModel]
 ProtocolFactory = Callable[[float], AnyProtocol]
+
+#: One cell of a sweep grid: a stationary rate or a workload spec.
+SweepPoint = Union[float, WorkloadSpec]
 
 
 def clear_trace_cache() -> None:
@@ -52,6 +56,18 @@ def arrivals_for_rate(
     return arrival_trace(
         config.seed, rate_per_hour, config.horizon_hours(rate_per_hour)
     )
+
+
+def arrivals_for_point(config: SweepConfig, point: SweepPoint) -> np.ndarray:
+    """The seeded arrival trace for one sweep point (rate or workload).
+
+    Float points delegate to :func:`arrivals_for_rate` unchanged (legacy
+    cache key); workload points are keyed by their canonical digest, with
+    the horizon sized from the workload's mean rate.
+    """
+    if isinstance(point, WorkloadSpec):
+        return arrival_trace(config.seed, point, config.horizon_hours_for(point))
+    return arrivals_for_rate(config, float(point))
 
 
 def measure_protocol(
@@ -168,21 +184,26 @@ def measure_protocol(
 def measure_sweep_point(
     name: str,
     label: str,
-    rate_per_hour: float,
+    point: SweepPoint,
     config: SweepConfig,
     observation: Optional[Observation] = None,
 ) -> BandwidthPoint:
     """Measure one sweep grid cell — the ``"sweep-point"`` task handler.
 
-    Builds a fresh registry protocol for ``(name, rate)`` under the shared
-    seeded arrival trace and reduces it to one
-    :class:`~repro.analysis.metrics.BandwidthPoint`.  This is the unit of
-    work :func:`sweep_protocols` fans across the runtime Engine.  Arrival
-    traces are numpy arrays, so slotted points take the columnar hot path
-    automatically whenever no per-slot trace sink is attached.
+    ``point`` is a stationary rate (req/hour) or a
+    :class:`~repro.workload.spec.WorkloadSpec`; workload points size
+    horizons and protocol contexts from their mean rate and draw their
+    arrivals from the digest-keyed trace cache.  Builds a fresh registry
+    protocol for ``(name, point)`` under the shared seeded arrival trace
+    and reduces it to one :class:`~repro.analysis.metrics.BandwidthPoint`.
+    This is the unit of work :func:`sweep_protocols` fans across the
+    runtime Engine.  Arrival traces are numpy arrays, so slotted points
+    take the columnar hot path automatically whenever no per-slot trace
+    sink is attached.
     """
     from ..protocols.registry import ProtocolContext, build_protocol
 
+    rate_per_hour = SweepConfig.nominal_rate(point)
     context = ProtocolContext(
         n_segments=config.n_segments,
         duration=config.duration,
@@ -191,14 +212,17 @@ def measure_sweep_point(
     protocol = build_protocol(name, context)
     metrics = observation.metrics if observation is not None else None
     trace = observation.trace if observation is not None else None
+    trace_context = {"protocol": label, "rate_per_hour": rate_per_hour}
+    if isinstance(point, WorkloadSpec):
+        trace_context["workload"] = point.label()
     return measure_protocol(
         protocol,
         config,
         rate_per_hour,
-        arrival_times=arrivals_for_rate(config, rate_per_hour),
+        arrival_times=arrivals_for_point(config, point),
         metrics=metrics,
         trace=trace,
-        trace_context={"protocol": label, "rate_per_hour": rate_per_hour},
+        trace_context=trace_context,
     )
 
 
@@ -307,21 +331,27 @@ def sweep_grid(
     config: SweepConfig,
     labels: Optional[Sequence[str]] = None,
 ) -> List[RunSpec]:
-    """The sweep's (protocol × rate) grid as runtime specs, in sweep order."""
+    """The sweep's (protocol × point) grid as runtime specs, in sweep order.
+
+    Points are rates or workload specs (see
+    :meth:`~repro.experiments.config.SweepConfig.sweep_points`); either way
+    the cell value rides in the payload verbatim, so float-rate payloads —
+    and their checkpoint digests — are bit-identical to pre-workload runs.
+    """
     if labels is None:
         labels = list(names)
     if len(labels) != len(names):
         raise ConfigurationError("labels must parallel names")
     return [
-        RunSpec("sweep-point", (name, label, rate, config), label=label)
+        RunSpec("sweep-point", (name, label, point, config), label=label)
         for name, label in zip(names, labels)
-        for rate in config.rates_per_hour
+        for point in config.sweep_points()
     ]
 
 
 def assemble_series(
     labels: Sequence[str],
-    rates: Sequence[float],
+    rates: Sequence[SweepPoint],
     measured: Sequence[BandwidthPoint],
 ) -> List[ProtocolSeries]:
     """Fold a flat grid of measured points back into per-protocol series."""
@@ -385,7 +415,7 @@ def sweep_protocols(
         engine = Engine(n_jobs=n_jobs)
     specs = sweep_grid(names, config, labels)
     measured = engine.run_values(specs, observation=observation)
-    return assemble_series(labels, config.rates_per_hour, measured)
+    return assemble_series(labels, config.sweep_points(), measured)
 
 
 @dataclass

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Union
 
+from ..core.adaptive import AdaptiveDHBProtocol, default_slack_ladder
 from ..core.dhb import DHBProtocol
 from ..errors import ConfigurationError
 from ..sim.continuous import ReactiveModel
@@ -59,6 +60,10 @@ class ProtocolContext:
 
 _FACTORIES: Dict[str, Callable[[ProtocolContext], AnyProtocol]] = {
     "dhb": lambda ctx: DHBProtocol(n_segments=ctx.n_segments),
+    "adaptive-dhb": lambda ctx: AdaptiveDHBProtocol(
+        n_segments=ctx.n_segments,
+        slack_ladder=default_slack_ladder(ctx.n_segments),
+    ),
     "ud": lambda ctx: UniversalDistributionProtocol(n_segments=ctx.n_segments),
     "dnpb": lambda ctx: DynamicPagodaProtocol(n_segments=ctx.n_segments),
     "dsb": lambda ctx: DynamicSkyscraperProtocol(n_segments=ctx.n_segments),
@@ -79,7 +84,9 @@ _FACTORIES: Dict[str, Callable[[ProtocolContext], AnyProtocol]] = {
 }
 
 #: Protocols driven by the slotted simulator.
-SLOTTED_NAMES = frozenset({"dhb", "ud", "dnpb", "dsb", "fb", "npb", "sb"})
+SLOTTED_NAMES = frozenset(
+    {"dhb", "adaptive-dhb", "ud", "dnpb", "dsb", "fb", "npb", "sb"}
+)
 #: Protocols driven by the continuous-time simulator.
 REACTIVE_NAMES = frozenset(
     {"stream-tapping", "patching", "batching", "catching", "hmsm"}

@@ -10,9 +10,12 @@ this module alone).
 Built-in kinds
 --------------
 ``sweep-point``
-    One figure-sweep grid cell: ``(name, label, rate, SweepConfig)`` →
-    :class:`~repro.analysis.metrics.BandwidthPoint`.  Slotted cells run
-    on the columnar slotted hot path (arrival traces are numpy arrays)
+    One figure-sweep grid cell: ``(name, label, point, SweepConfig)`` →
+    :class:`~repro.analysis.metrics.BandwidthPoint`, where ``point`` is a
+    stationary rate (req/hour) or a digest-keyed
+    :class:`~repro.workload.spec.WorkloadSpec` (nonstationary sweeps);
+    float payloads are bit-identical to pre-workload runs.  Slotted cells
+    run on the columnar slotted hot path (arrival traces are numpy arrays)
     unless a per-slot trace sink is attached, so every entry point that
     fans work through the Engine — figure sweeps, ablations, catalog
     studies, the CLI — gets batched admission for free.
@@ -33,6 +36,11 @@ Built-in kinds
     :class:`~repro.edge.scenario.HierarchyResult`.  Budget sweeps
     (cache budget × Zipf skew × arrival rate) fan these out across any
     backend with checkpointed resume, like every other kind.
+``adaptive-arm``
+    One arm of the adaptive-DHB day study: ``(arm, AdaptiveStudyConfig)``
+    → :class:`~repro.experiments.adaptive.ArmResult`, where ``arm`` is
+    ``"static"`` or ``"adaptive"``.  Both arms replay the same
+    digest-keyed nonstationary arrival trace.
 ``figure-render``
     The deterministic Figures 1–5 renderings: ``()`` or ``(figure,)`` →
     ``str``.
@@ -57,8 +65,8 @@ Handler = Callable[[tuple, Optional[Observation]], Any]
 def _run_sweep_point(payload: tuple, observation: Optional[Observation]) -> Any:
     from ..experiments.runner import measure_sweep_point
 
-    name, label, rate, config = payload
-    return measure_sweep_point(name, label, rate, config, observation=observation)
+    name, label, point, config = payload
+    return measure_sweep_point(name, label, point, config, observation=observation)
 
 
 def _run_fig9_series(payload: tuple, observation: Optional[Observation]) -> Any:
@@ -96,6 +104,13 @@ def _run_edge_scenario(payload: tuple, observation: Optional[Observation]) -> An
     return run_hierarchy(scenario, observation=observation)
 
 
+def _run_adaptive_arm(payload: tuple, observation: Optional[Observation]) -> Any:
+    from ..experiments.adaptive import run_adaptive_arm
+
+    arm, study = payload
+    return run_adaptive_arm(arm, study, observation=observation)
+
+
 def _run_figure_render(payload: tuple, observation: Optional[Observation]) -> Any:
     from ..experiments.fig1to5 import render_all_figures, render_figure
 
@@ -112,6 +127,7 @@ BUILTIN_KINDS: Dict[str, Handler] = {
     "catalog-title": _run_catalog_title,
     "cluster-scenario": _run_cluster_scenario,
     "edge-scenario": _run_edge_scenario,
+    "adaptive-arm": _run_adaptive_arm,
     "figure-render": _run_figure_render,
 }
 

@@ -38,6 +38,7 @@ from ..obs.registry import MetricsRegistry
 from ..obs.trace import TraceSink
 from ..sim.slotted import SlottedResult, SlottedSimulation
 from ..workload.arrivals import DeterministicArrivals, PoissonArrivals
+from ..workload.spec import parse_workload
 from .framing import (
     FRAME_ERROR,
     FRAME_FIN,
@@ -86,6 +87,13 @@ class LoadgenConfig:
     connect_timeout: float = 10.0
     #: Seconds a session may go without a frame before counting as dropped.
     session_timeout: float = 30.0
+    #: Optional workload spec string (see
+    #: :data:`repro.workload.spec.WORKLOAD_GRAMMAR`).  When set it drives
+    #: the live daemon from that schedule — NHPP flash crowds, diurnal
+    #: profiles, MMPP bursts, recorded traces — over ``duration_seconds``,
+    #: overriding ``clients``/``arrivals`` (rates in the spec are per
+    #: hour, so 500 clients in 10 s is ``flash`` with peak around 180000).
+    workload: Optional[str] = None
 
     def __post_init__(self):
         if self.clients < 1:
@@ -101,6 +109,8 @@ class LoadgenConfig:
             )
         if self.want not in ("first", "all"):
             raise ServeError(f"want must be 'first' or 'all', got {self.want!r}")
+        if self.workload is not None:
+            parse_workload(self.workload)  # ConfigurationError on bad grammar
 
 
 @dataclass
@@ -176,9 +186,17 @@ def empirical_quantile(values: Sequence[float], q: float) -> float:
 
 
 def generate_offsets(config: LoadgenConfig) -> np.ndarray:
-    """Draw the run's arrival offsets (sorted seconds from the run start)."""
+    """Draw the run's arrival offsets (sorted seconds from the run start).
+
+    A ``workload`` spec string takes precedence: its process is generated
+    over ``duration_seconds`` from the seeded generator, so the same spec
+    and seed drive the daemon with the same schedule every run (and feed
+    :func:`compare_with_simulation` the same offsets).
+    """
     rng = np.random.default_rng(config.seed)
-    if config.arrivals == "poisson":
+    if config.workload is not None:
+        process = parse_workload(config.workload).process()
+    elif config.arrivals == "poisson":
         rate_per_hour = config.clients / config.duration_seconds * 3600.0
         process = PoissonArrivals(rate_per_hour=rate_per_hour)
     else:

@@ -5,8 +5,12 @@ The paper's evaluation assumes Poisson request arrivals for a single video
 Poisson law").  Its introduction, however, motivates the whole design with
 *time-varying* demand — child-oriented fare peaking in daytime, adult fare at
 night — so this package also ships a non-homogeneous Poisson process with
-diurnal rate profiles and a Zipf catalog popularity model for multi-video
-studies.
+diurnal rate profiles, flash-crowd and event-ring surge models, MMPP bursts,
+and a Zipf catalog popularity model for multi-video studies.
+
+:class:`WorkloadSpec` (see :mod:`repro.workload.spec`) is the declarative,
+digest-keyed form of any of these — the value that sweep configs, runtime
+task payloads, scenarios, and the CLI carry where a scalar rate used to be.
 """
 
 from .arrivals import (
@@ -15,25 +19,41 @@ from .arrivals import (
     MMPPArrivals,
     NonHomogeneousPoisson,
     PoissonArrivals,
+    SuperposedArrivals,
     TraceArrivals,
 )
 from .diurnal import DiurnalProfile, adult_evening_profile, child_daytime_profile
 from .flash import FlashCrowd
 from .popularity import ZipfCatalog
 from .requests import Request, requests_from_times
+from .spatial import EventRings
+from .spec import (
+    WORKLOAD_GRAMMAR,
+    WorkloadSpec,
+    as_workload,
+    parse_workload,
+    workload_or_none,
+)
 
 __all__ = [
     "ArrivalProcess",
     "DeterministicArrivals",
     "DiurnalProfile",
+    "EventRings",
     "FlashCrowd",
     "MMPPArrivals",
     "NonHomogeneousPoisson",
     "PoissonArrivals",
     "Request",
+    "SuperposedArrivals",
     "TraceArrivals",
+    "WORKLOAD_GRAMMAR",
+    "WorkloadSpec",
     "ZipfCatalog",
     "adult_evening_profile",
+    "as_workload",
     "child_daytime_profile",
+    "parse_workload",
     "requests_from_times",
+    "workload_or_none",
 ]

@@ -212,6 +212,36 @@ class MMPPArrivals(ArrivalProcess):
         return np.asarray(times)
 
 
+class SuperposedArrivals(ArrivalProcess):
+    """Superposition of independent arrival processes.
+
+    The components are generated sequentially from the *same* generator (so
+    a single seeded stream reproduces the whole composite) and merged into
+    one sorted trace.  Superposing independent Poisson-family processes
+    yields another valid arrival process whose rate is the sum of the
+    component rates — the standard way to build "diurnal baseline plus an
+    evening flash crowd" days.
+    """
+
+    def __init__(self, processes: Sequence[ArrivalProcess]):
+        parts = list(processes)
+        if not parts:
+            raise WorkloadError("superposition needs at least one process")
+        for part in parts:
+            if not isinstance(part, ArrivalProcess):
+                raise WorkloadError(
+                    f"superposition components must be ArrivalProcess, "
+                    f"got {type(part).__name__}"
+                )
+        self.processes = parts
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> np.ndarray:
+        self._check_horizon(horizon)
+        return merge_arrivals(
+            *[process.generate(horizon, rng) for process in self.processes]
+        )
+
+
 def merge_arrivals(*streams: np.ndarray) -> np.ndarray:
     """Merge several sorted arrival-time arrays into one sorted array."""
     if not streams:

@@ -31,6 +31,9 @@ class FlashCrowd(NonHomogeneousPoisson):
         e-folding time of the surge, in hours.
     base_rate_per_hour:
         Steady-state rate the title settles to.
+    start_hours:
+        When the premiere happens, in hours from the run start (before it
+        only the base rate applies).
 
     Examples
     --------
@@ -47,6 +50,7 @@ class FlashCrowd(NonHomogeneousPoisson):
         peak_rate_per_hour: float,
         decay_hours: float,
         base_rate_per_hour: float = 0.0,
+        start_hours: float = 0.0,
     ):
         if peak_rate_per_hour < 0 or base_rate_per_hour < 0:
             raise WorkloadError("rates must be >= 0")
@@ -54,19 +58,23 @@ class FlashCrowd(NonHomogeneousPoisson):
             raise WorkloadError("the crowd must have a positive rate somewhere")
         if decay_hours <= 0:
             raise WorkloadError(f"decay_hours must be > 0, got {decay_hours}")
+        if start_hours < 0:
+            raise WorkloadError(f"start_hours must be >= 0, got {start_hours}")
         self.peak_rate_per_hour = float(peak_rate_per_hour)
         self.decay_hours = float(decay_hours)
         self.base_rate_per_hour = float(base_rate_per_hour)
+        self.start_hours = float(start_hours)
         super().__init__(
             rate_fn=self.rate_at,
             max_rate_per_hour=base_rate_per_hour + peak_rate_per_hour,
         )
 
     def rate_at(self, time_seconds: float) -> float:
-        """Instantaneous rate (per hour) at ``time_seconds`` after release."""
-        if time_seconds < 0:
+        """Instantaneous rate (per hour) at ``time_seconds`` into the run."""
+        since_release = time_seconds - self.start_hours * 3600.0
+        if since_release < 0:
             return self.base_rate_per_hour
-        decay = math.exp(-time_seconds / (self.decay_hours * 3600.0))
+        decay = math.exp(-since_release / (self.decay_hours * 3600.0))
         return self.base_rate_per_hour + self.peak_rate_per_hour * decay
 
     def expected_requests(self, horizon_seconds: float) -> float:
@@ -79,7 +87,10 @@ class FlashCrowd(NonHomogeneousPoisson):
         if horizon_seconds < 0:
             raise WorkloadError("horizon must be >= 0")
         tau = self.decay_hours * 3600.0
-        surge = self.peak_rate_per_hour / 3600.0 * tau * (
-            1.0 - math.exp(-horizon_seconds / tau)
-        )
+        surge_window = horizon_seconds - self.start_hours * 3600.0
+        surge = 0.0
+        if surge_window > 0:
+            surge = self.peak_rate_per_hour / 3600.0 * tau * (
+                1.0 - math.exp(-surge_window / tau)
+            )
         return surge + self.base_rate_per_hour / 3600.0 * horizon_seconds

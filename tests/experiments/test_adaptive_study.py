@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.adaptive: the adaptive-vs-static day study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.adaptive import (
+    AdaptiveStudyConfig,
+    default_day_workload,
+    run_adaptive_arm,
+    run_adaptive_study,
+)
+from repro.runtime import Engine
+from repro.workload.spec import WorkloadSpec
+
+
+def quick_config(**overrides):
+    config = AdaptiveStudyConfig().quick()
+    if overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def test_default_day_is_diurnal_plus_ring():
+    day = default_day_workload()
+    assert day.kind == "superpose"
+    kinds = {part.kind for part in day._get("parts")}
+    assert kinds == {"diurnal", "ring"}
+
+
+def test_quick_study_adaptive_holds_the_peak():
+    """The acceptance claim: adaptive peak strictly below static under
+    the same deadline guarantee, on the identical arrival trace."""
+    result = run_adaptive_study(config=quick_config())
+    assert result.static.n_requests == result.adaptive.n_requests
+    assert result.adaptive.peak_streams < result.static.peak_streams
+    assert result.adaptive.retunes >= 1
+    assert (
+        result.adaptive.worst_startup_wait_seconds
+        <= result.config.deadline_guarantee_seconds
+    )
+    assert result.verified
+    assert result.peak_reduction > 0
+
+
+def test_render_contains_hourly_table_and_verdict():
+    result = run_adaptive_study(config=quick_config())
+    text = result.render()
+    assert "static-peak" in text and "adaptive-peak" in text
+    assert "verified: yes" in text
+    assert "retunes" in text
+
+
+def test_study_is_backend_invariant():
+    serial = run_adaptive_study(config=quick_config())
+    pooled = run_adaptive_study(config=quick_config(), engine=Engine(n_jobs=2))
+    assert serial.static == pooled.static
+    assert serial.adaptive == pooled.adaptive
+
+
+def test_arm_handler_rejects_unknown_arm():
+    with pytest.raises(ConfigurationError):
+        run_adaptive_arm("bogus", quick_config())
+
+
+def test_config_workload_coercion_and_validation():
+    config = quick_config(workload="flash:peak=120,decay=1")
+    assert isinstance(config.workload, WorkloadSpec)
+    with pytest.raises(ConfigurationError):
+        AdaptiveStudyConfig(n_segments=0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveStudyConfig(warmup_fraction=1.0)
+
+
+def test_engine_spec_path_matches_direct_call():
+    """The "adaptive-arm" task kind must return exactly what the direct
+    function does — the property checkpoint replay relies on."""
+    from repro.runtime import RunSpec
+
+    config = quick_config()
+    direct = run_adaptive_arm("adaptive", config)
+    with Engine(n_jobs=1) as engine:
+        (via_engine,) = engine.run_values(
+            [RunSpec("adaptive-arm", ("adaptive", config))]
+        )
+    assert via_engine == direct

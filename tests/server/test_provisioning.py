@@ -95,3 +95,74 @@ def test_deterministic():
     a = provision_catalog(dhb_factory, [30.0], SLOT, 300, seed=5)
     b = provision_catalog(dhb_factory, [30.0], SLOT, 300, seed=5)
     assert np.array_equal(a.aggregate, b.aggregate)
+
+
+# ---------------------------------------------------------------------------
+# Process-accepting API (provision_catalog_processes)
+# ---------------------------------------------------------------------------
+
+
+def test_rate_wrapper_is_bit_for_bit_with_process_api():
+    """provision_catalog is now a wrapper; the pre-refactor behaviour must
+    survive exactly for the same (rates, seed)."""
+    from repro.server.provisioning import provision_catalog_processes
+    from repro.workload.arrivals import PoissonArrivals
+
+    rates = [30.0, 12.0, 5.0]
+    via_wrapper = provision_catalog(dhb_factory, rates, SLOT, 400, seed=7)
+    via_floats = provision_catalog_processes(dhb_factory, rates, SLOT, 400, seed=7)
+    via_processes = provision_catalog_processes(
+        dhb_factory, [PoissonArrivals(rate) for rate in rates], SLOT, 400, seed=7
+    )
+    assert np.array_equal(via_wrapper.aggregate, via_floats.aggregate)
+    assert np.array_equal(via_wrapper.aggregate, via_processes.aggregate)
+    assert via_wrapper.per_title_means == via_processes.per_title_means
+
+
+def test_mixed_catalog_workloads():
+    """A flash-crowd premiere riding on Poisson back-catalog titles: any
+    ArrivalProcess or WorkloadSpec is a first-class title demand."""
+    from repro.server.provisioning import provision_catalog_processes
+    from repro.workload.flash import FlashCrowd
+    from repro.workload.spec import WorkloadSpec
+
+    result = provision_catalog_processes(
+        dhb_factory,
+        [40.0, FlashCrowd(600.0, 1.0), WorkloadSpec.diurnal("child", 50.0)],
+        SLOT,
+        400,
+        seed=11,
+    )
+    assert len(result.per_title_means) == 3
+    assert result.peak_streams >= max(result.per_title_means)
+
+
+def test_swapping_one_title_leaves_other_arrivals_untouched():
+    """Per-title streams isolate demand models: changing title 1's model
+    must not perturb title 0's seeded arrivals (same aggregate share)."""
+    from repro.server.provisioning import provision_catalog_processes
+    from repro.workload.flash import FlashCrowd
+
+    poisson_only = provision_catalog_processes(
+        dhb_factory, [25.0], SLOT, 400, seed=13
+    )
+    with_flash = provision_catalog_processes(
+        dhb_factory, [25.0, FlashCrowd(200.0, 0.5)], SLOT, 400, seed=13
+    )
+    assert with_flash.per_title_means[0] == poisson_only.per_title_means[0]
+
+
+def test_process_api_validation():
+    from repro.server.provisioning import provision_catalog_processes
+    from repro.workload.arrivals import PoissonArrivals
+
+    with pytest.raises(ConfigurationError):
+        provision_catalog_processes(dhb_factory, [True], SLOT, 100)
+    with pytest.raises(ConfigurationError):
+        provision_catalog_processes(dhb_factory, [object()], SLOT, 100)
+    with pytest.raises(ConfigurationError):
+        provision_catalog_processes(dhb_factory, [-2.0], SLOT, 100)
+    # sanity: the valid forms construct
+    provision_catalog_processes(
+        dhb_factory, [PoissonArrivals(5.0)], SLOT, 50
+    )

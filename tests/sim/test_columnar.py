@@ -125,20 +125,20 @@ def assert_identical(columnar, scalar):
 @pytest.mark.parametrize("name", sorted(PROTOCOL_FACTORIES))
 def test_driver_paths_agree_on_poisson_traces(name):
     for seed in (1, 2, 3):
-        arrivals = arrival_trace(seed, rate_per_hour=1800.0, horizon_hours=1.0)
+        arrivals = arrival_trace(seed, workload=1800.0, horizon_hours=1.0)
         arrivals = arrivals[arrivals < 600.0]
         columnar, scalar = run_pair(PROTOCOL_FACTORIES[name], arrivals)
         assert_identical(columnar, scalar)
 
 
 def test_driver_paths_agree_for_default_loop_protocol():
-    arrivals = arrival_trace(9, rate_per_hour=3600.0, horizon_hours=1.0)
+    arrivals = arrival_trace(9, workload=3600.0, horizon_hours=1.0)
     columnar, scalar = run_pair(LoopProtocol, arrivals, horizon=120)
     assert_identical(columnar, scalar)
 
 
 def test_fixed_protocol_batches_to_constant_load():
-    arrivals = arrival_trace(5, rate_per_hour=720.0, horizon_hours=1.0)
+    arrivals = arrival_trace(5, workload=720.0, horizon_hours=1.0)
     columnar, scalar = run_pair(
         lambda: FastBroadcasting(n_segments=N_SEGMENTS), arrivals
     )

@@ -23,6 +23,7 @@ VERIFIED_BENCHES = (
     "runtime_quick",
     "fig7_columnar",
     "checkpoint_resume_quick",
+    "adaptive_day_quick",
     "serve_loopback_quick",
 )
 
@@ -43,8 +44,14 @@ def _report(
     cluster_seconds=0.02,
     edge_hit_ratio=0.95,
     edge_expected=0.95,
+    adaptive_static_peak=6.0,
+    adaptive_peak=5.0,
+    adaptive_seconds=0.02,
+    sweep_seconds=0.02,
 ):
     seconds_by_name = dict(seconds_by_name)
+    seconds_by_name.setdefault("adaptive_day_quick", adaptive_seconds)
+    seconds_by_name.setdefault("fig7_quick_serial", sweep_seconds)
     for name in VERIFIED_BENCHES + MEMORY_BENCHES:
         seconds_by_name.setdefault(name, 0.5)
     seconds_by_name.setdefault("edge_quick", edge_seconds)
@@ -64,6 +71,9 @@ def _report(
     )
     benches["edge_quick"]["detail"].update(
         hit_ratio=edge_hit_ratio, expected_hit_ratio=edge_expected
+    )
+    benches["adaptive_day_quick"]["detail"].update(
+        static_peak=adaptive_static_peak, adaptive_peak=adaptive_peak
     )
     return {
         "schema": 1,
@@ -206,6 +216,32 @@ class TestCompare:
         _lines, failures = compare(fresh, baseline)
         assert any("expected_hit_ratio" in failure for failure in failures)
 
+    def test_adaptive_peak_above_static_fails(self):
+        baseline = _report({})
+        fresh = _report({}, adaptive_peak=9.0, adaptive_static_peak=6.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("static DHB worst case" in failure for failure in failures)
+
+    def test_adaptive_peak_at_static_worst_case_passes(self):
+        report = _report({}, adaptive_peak=6.0, adaptive_static_peak=6.0)
+        _lines, failures = compare(report, report)
+        assert failures == []
+
+    def test_missing_adaptive_peaks_fail(self):
+        baseline = _report({})
+        fresh = _report({})
+        del fresh["benches"]["adaptive_day_quick"]["detail"]["static_peak"]
+        _lines, failures = compare(fresh, baseline)
+        assert any("static/adaptive peaks" in failure for failure in failures)
+
+    def test_adaptive_over_sweep_ceiling_fails(self):
+        baseline = _report({})
+        # Fresh-report-internal ratio, like the edge/cluster gate: a
+        # noise-proof 10s day study vs a 1s stationary sweep must trip it.
+        fresh = _report({}, adaptive_seconds=10.0, sweep_seconds=1.0)
+        _lines, failures = compare(fresh, baseline)
+        assert any("fig7_quick_serial" in failure for failure in failures)
+
 
 class TestMain:
     def _write(self, path, report):
@@ -250,4 +286,11 @@ class TestMain:
         assert (
             baseline["benches"]["edge_quick"]["seconds"]
             <= 1.5 * baseline["benches"]["cluster_quick"]["seconds"] + 0.005
+        )
+        adaptive_detail = baseline["benches"]["adaptive_day_quick"]["detail"]
+        assert adaptive_detail["adaptive_peak"] <= adaptive_detail["static_peak"]
+        assert adaptive_detail["retunes"] >= 1
+        assert (
+            baseline["benches"]["adaptive_day_quick"]["seconds"]
+            <= 1.5 * baseline["benches"]["fig7_quick_serial"]["seconds"] + 0.005
         )

@@ -352,3 +352,116 @@ def test_serve_loadgen_loopback_pair(capsys, tmp_path):
     document = json.loads(metrics_path.read_text())
     assert document["metrics"]["counters"]["loadgen.sessions.completed"] == 30
     thread.join(timeout=15)
+
+
+# ---------------------------------------------------------------------------
+# --workload and adaptive-study
+# ---------------------------------------------------------------------------
+
+
+def test_parser_knows_adaptive_study_and_workload():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["adaptive-study", "--quick", "--workload", "flash:peak=100,decay=1"]
+    )
+    assert args.command == "adaptive-study"
+    assert args.workload == ["flash:peak=100,decay=1"]
+    args = parser.parse_args(
+        ["fig7", "--workload", "20", "--workload", "diurnal:child,peak=50"]
+    )
+    assert args.workload == ["20", "diurnal:child,peak=50"]
+
+
+def test_adaptive_study_quick(capsys):
+    assert main(["adaptive-study", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "static-peak" in out and "adaptive-peak" in out
+    assert "verified: yes" in out
+
+
+def test_adaptive_study_quick_with_metrics(tmp_path, capsys):
+    metrics_path = tmp_path / "adaptive.json"
+    rc = main(
+        ["adaptive-study", "--quick", "--metrics-out", str(metrics_path)]
+    )
+    assert rc == 0
+    document = json.loads(metrics_path.read_text())
+    assert document["manifest"]["experiment"] == "adaptive-study"
+    assert document["manifest"]["params"]["workload"]
+    assert document["metrics"]["counters"]["protocol.retunes"] >= 1
+
+
+def test_fig7_quick_with_workload_sweep(capsys):
+    rc = main(
+        [
+            "fig7",
+            "--quick",
+            "--workload",
+            "poisson:40",
+            "--workload",
+            "flash:peak=120,decay=1",
+        ]
+    )
+    assert rc == 0
+    assert "DHB" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "spec,hint",
+    [
+        ("bogus:1", "unknown workload kind"),
+        ("diurnal:child,peak=bogus", "peak must be a number"),
+        ("flash:peak=400", "missing required parameter"),
+        ("mmpp:rates=20|200", "missing required parameter"),
+        ("poisson:-5", "must be > 0"),
+        ("trace:/nonexistent/file.txt", "trace"),
+        ("", "empty"),
+    ],
+)
+def test_malformed_workload_specs_exit_2_with_grammar(spec, hint, capsys):
+    """Malformed --workload strings are configuration errors: exit code 2,
+    the grammar in the message, and no traceback."""
+    rc = main(["adaptive-study", "--quick", "--workload", spec])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "repro-cli: error:" in err
+    assert "workload spec grammar" in err
+    assert hint in err
+    assert "Traceback" not in err
+
+
+def test_malformed_workload_on_fig7_also_clean(capsys):
+    rc = main(["fig7", "--quick", "--workload", "diurnal:goth,peak=10"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "workload spec grammar" in err and "Traceback" not in err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["fig9", "--quick", "--workload", "20"],
+        ["figures", "--workload", "20"],
+        ["ablations", "--quick", "--workload", "20"],
+    ],
+)
+def test_workload_flag_rejected_on_wrong_command(argv, capsys):
+    with pytest.raises(SystemExit):
+        main(argv)
+    assert "--workload" in capsys.readouterr().err
+
+
+def test_workload_flag_repeat_rejected_outside_sweeps(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "adaptive-study",
+                "--quick",
+                "--workload",
+                "20",
+                "--workload",
+                "30",
+            ]
+        )
+    err = capsys.readouterr().err
+    assert "repeated only for the fig7/fig8 sweeps" in err

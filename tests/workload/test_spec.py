@@ -1,0 +1,320 @@
+"""Tests for repro.workload.spec: the grammar, digests, and coercions.
+
+Covers the nonstationary-workload contract end to end: table-driven
+parsing (valid and malformed specs), label round-trips, cross-process
+digest stability (the property the digest-keyed trace cache and
+checkpoint keys rest on), `as_workload` coercions, plus hypothesis
+properties of the arrival processes the specs materialize (NHPP thinning
+counts against the integrated rate; FlashCrowd / MMPP / EventRings mean
+rates against their closed forms).
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import HOUR
+from repro.workload import (
+    EventRings,
+    FlashCrowd,
+    MMPPArrivals,
+    NonHomogeneousPoisson,
+    PoissonArrivals,
+    SuperposedArrivals,
+    WorkloadSpec,
+    as_workload,
+    parse_workload,
+    workload_or_none,
+)
+from repro.workload.arrivals import DeterministicArrivals, TraceArrivals
+
+# ---------------------------------------------------------------------------
+# Grammar: valid specs
+# ---------------------------------------------------------------------------
+
+VALID_SPECS = [
+    ("40", "poisson", 40.0),
+    ("40.5", "poisson", 40.5),
+    ("poisson:40", "poisson", 40.0),
+    ("deterministic:interval=90", "deterministic", HOUR / 90),
+    ("deterministic:interval=90,offset=5", "deterministic", HOUR / 90),
+    ("diurnal:child,peak=120", "diurnal", None),
+    ("diurnal:adult,peak=80", "diurnal", None),
+    ("flash:peak=400,decay=1.5", "flash", None),
+    ("flash:peak=400,decay=1.5,base=10,start=19", "flash", None),
+    ("mmpp:rates=20|200,sojourn=600|60", "mmpp", None),
+    ("ring:peak=300,rings=3,delay=0.5,atten=0.5,decay=1.0", "ring", None),
+    ("ring:peak=300,rings=2,delay=0.25,atten=0.8,decay=2.0,base=5,start=18", "ring", None),
+    ("diurnal:child,peak=100+flash:peak=300,decay=1", "superpose", None),
+    ("10+20+30", "superpose", 60.0),
+]
+
+
+@pytest.mark.parametrize("text,kind,mean", VALID_SPECS)
+def test_valid_specs_parse(text, kind, mean):
+    spec = parse_workload(text)
+    assert spec.kind == kind
+    assert spec.mean_rate_per_hour > 0
+    if mean is not None:
+        assert spec.mean_rate_per_hour == pytest.approx(mean)
+
+
+def test_trace_spec_parses_from_file(tmp_path):
+    path = tmp_path / "times.txt"
+    path.write_text("# recorded arrivals\n0.5\n3.25\n\n9.0\n")
+    spec = parse_workload(f"trace:{path}")
+    assert spec.kind == "trace"
+    assert spec._get("times") == (0.5, 3.25, 9.0)
+
+
+# ---------------------------------------------------------------------------
+# Grammar: malformed specs → ConfigurationError carrying the grammar
+# ---------------------------------------------------------------------------
+
+MALFORMED_SPECS = [
+    "",
+    "   ",
+    "bogus:1",
+    "poisson:",
+    "poisson:abc",
+    "poisson:-5",
+    "0",
+    "-3",
+    "deterministic:interval=0",
+    "deterministic:offset=5",
+    "deterministic:interval=90,unknown=1",
+    "diurnal:goth,peak=100",
+    "diurnal:child",
+    "diurnal:child,peak=bogus",
+    "flash:peak=400",
+    "flash:decay=1.5",
+    "flash:peak=400,decay=0",
+    "flash:peak=400,decay=1.5,start=-2",
+    "mmpp:rates=20|200",
+    "mmpp:rates=20|200,sojourn=600",
+    "mmpp:rates=20|x,sojourn=600|60",
+    "ring:peak=300",
+    "ring:peak=300,rings=0,delay=0.5,atten=0.5,decay=1.0",
+    "ring:peak=300,rings=3,delay=0.5,atten=1.5,decay=1.0",
+    "trace:/nonexistent/arrivals.txt",
+    "40+",
+    "+40",
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED_SPECS)
+def test_malformed_specs_raise_with_grammar(text):
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_workload(text)
+    assert "workload spec grammar" in str(excinfo.value)
+
+
+def test_trace_file_with_garbage_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1.0\nnot-a-number\n")
+    with pytest.raises(ConfigurationError):
+        parse_workload(f"trace:{path}")
+
+
+# ---------------------------------------------------------------------------
+# Labels round-trip (except trace, whose label is a summary)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "text", [text for text, kind, _ in VALID_SPECS if kind != "trace"]
+)
+def test_label_round_trips(text):
+    spec = parse_workload(text)
+    assert parse_workload(spec.label()) == spec
+
+
+def test_trace_label_is_a_summary():
+    spec = WorkloadSpec.trace([1.0, 2.0, 3.0])
+    assert spec.label() == "trace:3pts"
+
+
+# ---------------------------------------------------------------------------
+# Digests: canonical, order-insensitive in source text, process-stable
+# ---------------------------------------------------------------------------
+
+def test_digest_ignores_parameter_spelling():
+    assert (
+        parse_workload("flash:decay=1.5,peak=400").digest()
+        == parse_workload("flash:peak=400.0,decay=1.50").digest()
+    )
+
+
+def test_digest_distinguishes_kinds_and_values():
+    specs = {parse_workload(text) for text, _, _ in VALID_SPECS}
+    digests = {spec.digest() for spec in specs}
+    assert len(digests) == len(specs)
+    # "40" and "poisson:40" are the same spec, so they share one digest.
+    assert parse_workload("40").digest() == parse_workload("poisson:40").digest()
+
+
+def test_digest_stable_across_processes(tmp_path):
+    """The cache/checkpoint key must not depend on hash randomization."""
+    specs = [
+        "diurnal:child,peak=120+flash:peak=400,decay=1.5,start=19",
+        "mmpp:rates=20|200,sojourn=600|60",
+    ]
+    trace_path = tmp_path / "trace.txt"
+    trace_path.write_text("0.25\n1.5\n7.75\n")
+    specs.append(f"trace:{trace_path}")
+    script = (
+        "import sys\n"
+        "from repro.workload.spec import parse_workload\n"
+        "for text in sys.argv[1:]:\n"
+        "    print(parse_workload(text).digest())\n"
+    )
+    local = [parse_workload(text).digest() for text in specs]
+    for _ in range(2):
+        result = subprocess.run(
+            [sys.executable, "-c", script, *specs],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.split() == local
+
+
+# ---------------------------------------------------------------------------
+# as_workload coercions
+# ---------------------------------------------------------------------------
+
+def test_as_workload_accepts_numbers_strings_specs_and_processes():
+    forty = WorkloadSpec.poisson(40.0)
+    assert as_workload(40) == forty
+    assert as_workload(40.0) == forty
+    assert as_workload("poisson:40") == forty
+    assert as_workload(forty) is forty
+    assert as_workload(PoissonArrivals(40.0)) == forty
+    assert as_workload(DeterministicArrivals(90.0, 5.0)) == WorkloadSpec.deterministic(
+        90.0, 5.0
+    )
+    assert as_workload(FlashCrowd(400.0, 1.5)).kind == "flash"
+    assert as_workload(MMPPArrivals([20, 200], [600, 60])).kind == "mmpp"
+    assert as_workload(TraceArrivals([1.0, 2.0])).kind == "trace"
+
+
+def test_as_workload_event_rings_not_swallowed_by_flash():
+    """EventRings subclasses NonHomogeneousPoisson like FlashCrowd; the
+    coercion must dispatch on the most specific type."""
+    rings = EventRings(300.0, 3, 0.5, 0.5, 1.0)
+    assert as_workload(rings).kind == "ring"
+
+
+def test_as_workload_rejects_bools_and_opaque_processes():
+    with pytest.raises((ConfigurationError, TypeError)):
+        as_workload(True)
+    with pytest.raises(ConfigurationError) as excinfo:
+        as_workload(NonHomogeneousPoisson(lambda t: 5.0, 10.0))
+    assert "WorkloadSpec" in str(excinfo.value)
+
+
+def test_workload_or_none():
+    assert workload_or_none(None) is None
+    assert workload_or_none(40.0) == WorkloadSpec.poisson(40.0)
+
+
+# ---------------------------------------------------------------------------
+# Materialization: process() types and superposition
+# ---------------------------------------------------------------------------
+
+def test_process_types():
+    assert isinstance(parse_workload("40").process(), PoissonArrivals)
+    assert isinstance(
+        parse_workload("diurnal:child,peak=100").process(), NonHomogeneousPoisson
+    )
+    assert isinstance(parse_workload("flash:peak=100,decay=1").process(), FlashCrowd)
+    assert isinstance(
+        parse_workload("mmpp:rates=10|50,sojourn=60|60").process(), MMPPArrivals
+    )
+    assert isinstance(
+        parse_workload("ring:peak=100,rings=2,delay=0.5,atten=0.5,decay=1").process(),
+        EventRings,
+    )
+    composite = parse_workload("20+flash:peak=100,decay=1").process()
+    assert isinstance(composite, SuperposedArrivals)
+    assert len(composite.processes) == 2
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: thinning counts track the integrated rate
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    peak=st.floats(200.0, 2000.0),
+    decay=st.floats(0.5, 3.0),
+)
+def test_nhpp_window_counts_match_integrated_rate(seed, peak, decay):
+    """Counts in a window are Poisson(∫λ); check a 6-sigma envelope."""
+    process = FlashCrowd(peak, decay)
+    horizon = 4 * decay * 3600.0
+    times = process.generate(horizon, np.random.default_rng(seed))
+    expected = process.expected_requests(horizon)
+    sigma = max(np.sqrt(expected), 1.0)
+    assert abs(len(times) - expected) < 6.0 * sigma
+    # Window counts: the first decay-constant worth of time holds
+    # (1 - e^-1) of a pure surge's mass; same envelope.
+    window_expected = process.expected_requests(decay * 3600.0)
+    window_count = int(np.searchsorted(times, decay * 3600.0))
+    assert abs(window_count - window_expected) < 6.0 * max(
+        np.sqrt(window_expected), 1.0
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    low=st.floats(5.0, 50.0),
+    high=st.floats(200.0, 800.0),
+)
+def test_mmpp_mean_rate_between_state_rates(seed, low, high):
+    process = MMPPArrivals([low, high], [900.0, 900.0])
+    horizon = 20 * 3600.0
+    times = process.generate(horizon, np.random.default_rng(seed))
+    hourly = len(times) / 20.0
+    assert low * 0.25 <= hourly <= high * 1.25
+
+
+def test_mmpp_spec_mean_rate_is_sojourn_weighted():
+    spec = WorkloadSpec.mmpp([30.0, 300.0], [1800.0, 600.0])
+    expected = (30.0 * 1800.0 + 300.0 * 600.0) / 2400.0
+    assert spec.mean_rate_per_hour == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_event_rings_counts_match_closed_form(seed):
+    process = EventRings(600.0, 3, 0.5, 0.5, 1.0, base_rate_per_hour=10.0)
+    horizon = 12 * 3600.0
+    times = process.generate(horizon, np.random.default_rng(seed))
+    expected = process.expected_requests(horizon)
+    assert abs(len(times) - expected) < 6.0 * np.sqrt(expected)
+
+
+def test_event_rings_rate_peaks_at_ignitions():
+    process = EventRings(600.0, 3, 0.5, 0.5, 1.0)
+    for ring, ignition in enumerate(process.ignition_seconds()):
+        jump = process.rate_at(ignition) - process.rate_at(ignition - 1e-6)
+        assert jump == pytest.approx(600.0 * 0.5**ring, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_superposition_count_is_sum_of_parts(seed):
+    """Superposed expected counts add; check the composite against it."""
+    spec = parse_workload("diurnal:child,peak=120+flash:peak=400,decay=1.5")
+    horizon = 24 * 3600.0
+    times = spec.process().generate(horizon, np.random.default_rng(seed))
+    expected = spec.mean_rate_per_hour * 24.0
+    assert abs(len(times) - expected) < 6.0 * np.sqrt(expected)
+    assert np.all(np.diff(times) >= 0)
